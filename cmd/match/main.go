@@ -1,0 +1,77 @@
+// Command match runs a single MATCH benchmark configuration and prints the
+// execution-time breakdown.
+//
+// Usage:
+//
+//	match -app HPCCG -design reinit -procs 64 -input small -fault
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"match/internal/core"
+	"match/internal/fti"
+)
+
+func main() {
+	app := flag.String("app", "HPCCG", "application: AMG, CoMD, HPCCG, LULESH, miniFE, miniVite")
+	design := flag.String("design", "reinit", "fault-tolerance design: restart, reinit, ulfm")
+	procs := flag.Int("procs", 64, "number of MPI processes (64, 128, 256, 512)")
+	nodes := flag.Int("nodes", 32, "number of compute nodes")
+	input := flag.String("input", "small", "input problem size: small, medium, large")
+	faultOn := flag.Bool("fault", false, "inject one random process failure (Figure 4)")
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	level := flag.Int("level", 1, "FTI checkpoint level (1-4)")
+	stride := flag.Int("stride", 10, "checkpoint every N iterations")
+	reps := flag.Int("reps", 1, "repetitions to average (the paper used 5)")
+	flag.Parse()
+
+	cfg := core.Config{
+		App:         *app,
+		Procs:       *procs,
+		Nodes:       *nodes,
+		InjectFault: *faultOn,
+		FaultSeed:   *seed,
+		FTILevel:    fti.Level(*level),
+		CkptStride:  *stride,
+	}
+	switch strings.ToLower(*design) {
+	case "restart":
+		cfg.Design = core.RestartFTI
+	case "reinit":
+		cfg.Design = core.ReinitFTI
+	case "ulfm":
+		cfg.Design = core.UlfmFTI
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*input) {
+	case "small":
+		cfg.Input = core.Small
+	case "medium":
+		cfg.Input = core.Medium
+	case "large":
+		cfg.Input = core.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown input %q\n", *input)
+		os.Exit(2)
+	}
+
+	bd, _, err := core.RunAveraged(cfg, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s / %s / %d procs on %d nodes / %s input / fault=%t (avg of %d)\n",
+		cfg.App, cfg.Design, cfg.Procs, cfg.Nodes, cfg.Input, cfg.InjectFault, *reps)
+	fmt.Printf("  application     %10.3f s\n", bd.App.Seconds())
+	fmt.Printf("  write ckpts     %10.3f s  (%d checkpoints)\n", bd.Ckpt.Seconds(), bd.CkptCount)
+	fmt.Printf("  recovery        %10.3f s  (%d recoveries)\n", bd.Recovery.Seconds(), bd.Recoveries)
+	fmt.Printf("  total           %10.3f s\n", bd.Total.Seconds())
+	fmt.Printf("  signature       %g\n", bd.Signature)
+	fmt.Printf("  traffic         %d messages, %d bytes\n", bd.Messages, bd.NetBytes)
+}

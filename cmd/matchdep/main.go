@@ -1,0 +1,132 @@
+// Command matchdep is the paper's data-dependency analysis tool
+// (Algorithm 1): it reads a dynamic execution trace and reports the data
+// objects that must be checkpointed.
+//
+// Usage:
+//
+//	matchdep trace.txt        # analyze a recorded trace
+//	matchdep -demo            # trace a built-in CG kernel and analyze it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"match/internal/depanal"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "instrument a built-in CG-like kernel, dump its trace, and analyze it")
+	dump := flag.String("dump", "", "with -demo: also write the generated trace to this file")
+	flag.Parse()
+
+	var tr *depanal.Trace
+	switch {
+	case *demo:
+		tr = demoTrace()
+		if *dump != "" {
+			f, err := os.Create(*dump)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := depanal.WriteTrace(f, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Println("trace written to", *dump)
+		}
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err = depanal.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	depanal.WriteReport(os.Stdout, depanal.Analyze(tr))
+}
+
+// demoTrace executes a real (tiny) conjugate-gradient iteration with
+// instrumentation, producing the trace Algorithm 1 consumes. The expected
+// answer: x, r, p, rho, and the iteration counter must be checkpointed;
+// the matrix stencil and b are rebuilt by initialization; loop-local
+// temporaries are excluded.
+func demoTrace() *depanal.Trace {
+	tc := depanal.NewTracer()
+	const n = 8
+	// Simulated address space.
+	const (
+		aX    = 0x1000
+		aR    = 0x2000
+		aP    = 0x3000
+		aB    = 0x4000
+		aRho  = 0x5000
+		aIter = 0x5100
+		aTmp  = 0x9000
+	)
+	x := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	b := make([]float64, n)
+	tc.Alloc("x", aX, n*8, 31)
+	tc.Alloc("r", aR, n*8, 32)
+	tc.Alloc("p", aP, n*8, 33)
+	tc.Alloc("b", aB, n*8, 34)
+	tc.Alloc("rho", aRho, 8, 35)
+	tc.Alloc("iter", aIter, 8, 36)
+	for i := range b {
+		b[i] = float64(i + 1)
+		r[i], p[i] = b[i], b[i]
+	}
+	rho := 0.0
+	for _, v := range r {
+		rho += v * v
+	}
+	bits := func(f float64) uint64 { return uint64(int64(f * 1024)) }
+	tc.LoopBegin(40)
+	for it := 0; it < 4; it++ {
+		tc.NextIter(it)
+		tc.Alloc("ap", aTmp, n*8, 41) // loop-local temporary
+		ap := make([]float64, n)
+		pap := 0.0
+		for i := 0; i < n; i++ {
+			tc.Load(aB+uint64(i*8), bits(b[i]), 42) // read-only: constant values
+			tc.Load(aP+uint64(i*8), bits(p[i]), 43)
+			ap[i] = 2*p[i] + b[i]*0 // toy SPD action
+			tc.Store(aTmp+uint64(i*8), bits(ap[i]), 44)
+			pap += p[i] * ap[i]
+		}
+		alpha := rho / pap
+		rhoNew := 0.0
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			tc.Store(aX+uint64(i*8), bits(x[i]), 50)
+			tc.Store(aR+uint64(i*8), bits(r[i]), 51)
+			rhoNew += r[i] * r[i]
+		}
+		beta := rhoNew / rho
+		rho = rhoNew
+		tc.Load(aRho, bits(rho), 54)
+		tc.Store(aRho, bits(rho), 54)
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+			tc.Store(aP+uint64(i*8), bits(p[i]), 56)
+		}
+		tc.Load(aIter, uint64(it), 57)
+		tc.Store(aIter, uint64(it+1), 57)
+	}
+	tc.LoopEnd()
+	return tc.Trace()
+}

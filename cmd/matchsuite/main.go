@@ -1,0 +1,141 @@
+// Command matchsuite regenerates the paper's evaluation: Table I and every
+// figure (5-10), plus the §V-C headline ratios and a correctness
+// verification pass.
+//
+// Usage:
+//
+//	matchsuite -list                 # print Table I
+//	matchsuite -fig 7                # regenerate one figure
+//	matchsuite -all -reps 5          # the full paper evaluation
+//	matchsuite -ratios               # headline ratios from Fig. 6 data
+//	matchsuite -verify               # recovered-answer correctness matrix
+//	matchsuite -csv out.csv -fig 5   # raw series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"match/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print Table I and exit")
+	fig := flag.Int("fig", 0, "regenerate one figure (5-10)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	ratios := flag.Bool("ratios", false, "compute §V-C headline ratios (runs Fig. 6 matrix)")
+	verify := flag.Bool("verify", false, "verify recovered answers equal failure-free answers")
+	appsFlag := flag.String("apps", "", "comma-separated app filter")
+	scalesFlag := flag.String("scales", "", "comma-separated process-count filter")
+	reps := flag.Int("reps", 1, "repetitions per configuration (paper: 5)")
+	csvPath := flag.String("csv", "", "also write raw results as CSV")
+	seed := flag.Int64("seed", 1, "base fault seed")
+	flag.Parse()
+
+	opts := core.SuiteOptions{Reps: *reps, Seed: *seed}
+	if *appsFlag != "" {
+		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *scalesFlag != "" {
+		for _, s := range strings.Split(*scalesFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -scales:", err)
+				os.Exit(2)
+			}
+			opts.Scales = append(opts.Scales, v)
+		}
+	}
+
+	switch {
+	case *list:
+		core.WriteTableI(os.Stdout)
+	case *verify:
+		if err := runVerify(opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *ratios:
+		results, err := core.RunFigure(6, opts, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		core.ComputeRatios(results).Write(os.Stdout)
+		writeCSV(*csvPath, results)
+	case *all:
+		var everything []core.Result
+		for _, f := range []int{5, 6, 7, 8, 9, 10} {
+			// Figures 7/10 replot the recovery component of 6/9; rerunning
+			// keeps each figure's output self-contained.
+			results, err := core.RunFigure(f, opts, os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			everything = append(everything, results...)
+		}
+		core.ComputeRatios(everything).Write(os.Stdout)
+		writeCSV(*csvPath, everything)
+	case *fig != 0:
+		results, err := core.RunFigure(*fig, opts, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeCSV(*csvPath, results)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeCSV(path string, results []core.Result) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	core.WriteCSV(f, results)
+}
+
+// runVerify checks, for every app and design at a small scale, that a run
+// with an injected failure produces the same answer as a failure-free run.
+func runVerify(opts core.SuiteOptions) error {
+	opts.Reps = 1
+	appsList := opts.Apps
+	if len(appsList) == 0 {
+		appsList = []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}
+	}
+	fmt.Println("== Recovery correctness verification ==")
+	for _, app := range appsList {
+		ref, err := core.Run(core.Config{App: app, Design: core.ReinitFTI, Procs: 64, Input: core.Small})
+		if err != nil {
+			return fmt.Errorf("%s reference: %w", app, err)
+		}
+		for _, d := range core.Designs() {
+			bd, err := core.Run(core.Config{App: app, Design: d, Procs: 64, Input: core.Small,
+				InjectFault: true, FaultSeed: opts.Seed})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", app, d, err)
+			}
+			status := "OK (bitwise equal)"
+			if bd.Signature != ref.Signature {
+				status = fmt.Sprintf("MISMATCH %g != %g", bd.Signature, ref.Signature)
+			}
+			fmt.Printf("  %-10s %-12s recoveries=%d  %s\n", app, d, bd.Recoveries, status)
+			if bd.Signature != ref.Signature {
+				return fmt.Errorf("%s/%s: recovered answer differs", app, d)
+			}
+		}
+	}
+	fmt.Println("all designs recover to the failure-free answer")
+	return nil
+}

@@ -1,0 +1,39 @@
+// Checkpoint-levels: compare FTI's four checkpointing levels (L1 local
+// RAMFS, L2 partner copy, L3 Reed-Solomon group encoding, L4 parallel file
+// system) on miniFE — the ablation the paper defers to the FTI paper
+// (§V-B: "we use its L1 mode ... the comparison between the four FTI
+// checkpointing modes has been thoroughly studied").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"match"
+	"match/internal/fti"
+)
+
+func main() {
+	fmt.Printf("%-6s %14s %14s %10s\n", "level", "ckpt time(s)", "total(s)", "overhead")
+	var base float64
+	for _, level := range []fti.Level{fti.L1, fti.L2, fti.L3, fti.L4} {
+		bd, err := match.Run(match.Config{
+			App:      "miniFE",
+			Design:   match.ReinitFTI,
+			Procs:    64,
+			Input:    match.Medium,
+			FTILevel: level,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", level, err)
+		}
+		if level == fti.L1 {
+			base = bd.Total.Seconds()
+		}
+		fmt.Printf("%-6s %14.3f %14.3f %9.1f%%\n",
+			level, bd.Ckpt.Seconds(), bd.Total.Seconds(),
+			100*(bd.Total.Seconds()-base)/base)
+	}
+	fmt.Println("\nHigher levels buy stronger failure coverage (partner/node-group/PFS)")
+	fmt.Println("at increasing checkpoint cost; the paper's experiments use L1.")
+}

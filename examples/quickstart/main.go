@@ -1,0 +1,28 @@
+// Quickstart: run one benchmark configuration — HPCCG under REINIT-FTI at
+// the paper's default scale — and print the execution-time breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"match"
+)
+
+func main() {
+	bd, err := match.Run(match.Config{
+		App:    "HPCCG",
+		Design: match.ReinitFTI,
+		Procs:  64,
+		Input:  match.Small,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("HPCCG / REINIT-FTI / 64 procs / small input")
+	fmt.Printf("  application  %8.3f s\n", bd.App.Seconds())
+	fmt.Printf("  checkpoints  %8.3f s (%d written)\n", bd.Ckpt.Seconds(), bd.CkptCount)
+	fmt.Printf("  total        %8.3f s\n", bd.Total.Seconds())
+	fmt.Printf("  answer       %g\n", bd.Signature)
+	fmt.Println("\nAvailable applications:", match.Apps())
+}

@@ -1,0 +1,66 @@
+package amg_test
+
+import (
+	"testing"
+
+	"match/internal/apps/amg"
+	"match/internal/apps/appkit"
+	"match/internal/apps/apptest"
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+func TestVCyclesReduceResidual(t *testing.T) {
+	short := apptest.Run(t, 8, appkit.Params{NX: 8, NY: 8, NZ: 8, MaxIter: 2},
+		func() appkit.App { return amg.New() })
+	long := apptest.Run(t, 8, appkit.Params{NX: 8, NY: 8, NZ: 8, MaxIter: 12},
+		func() appkit.App { return amg.New() })
+	r2 := short.Apps[0].(*amg.App).Residual()
+	r12 := long.Apps[0].(*amg.App).Residual()
+	if !(r12 < r2/10) {
+		t.Fatalf("multigrid stalls: residual %v after 2 cycles, %v after 12", r2, r12)
+	}
+}
+
+func TestSignatureAgreesAcrossRanks(t *testing.T) {
+	res := apptest.Run(t, 8, appkit.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 4},
+		func() appkit.App { return amg.New() })
+	for i, s := range res.Sigs {
+		if s != res.Sigs[0] {
+			t.Fatalf("rank %d signature %v != %v", i, s, res.Sigs[0])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := appkit.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 5}
+	a := apptest.Run(t, 4, p, func() appkit.App { return amg.New() })
+	b := apptest.Run(t, 4, p, func() appkit.App { return amg.New() })
+	if a.Sigs[0] != b.Sigs[0] {
+		t.Fatalf("non-deterministic: %v vs %v", a.Sigs[0], b.Sigs[0])
+	}
+}
+
+func TestSingleRankMultilevel(t *testing.T) {
+	res := apptest.Run(t, 1, appkit.Params{NX: 16, NY: 16, NZ: 16, MaxIter: 10},
+		func() appkit.App { return amg.New() })
+	app := res.Apps[0].(*amg.App)
+	if app.Residual() <= 0 {
+		t.Fatal("residual not tracked")
+	}
+}
+
+// Odd local dims cannot coarsen; Init must reject them with an error.
+func TestRejectsOddDims(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 1})
+	var got error
+	mpi.Launch(c, 1, 0, func(r *mpi.Rank) {
+		ctx := &appkit.Context{R: r, World: r.Job().World(),
+			Params: appkit.Params{NX: 5, NY: 5, NZ: 5, MaxIter: 1, WorkScale: 1}}
+		got = amg.New().Init(ctx)
+	})
+	c.Run()
+	if got == nil {
+		t.Fatal("odd dims accepted")
+	}
+}

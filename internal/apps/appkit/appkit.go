@@ -1,0 +1,137 @@
+// Package appkit defines the contract between the MATCH proxy applications
+// and the fault-tolerance harness, plus the distributed-computing toolkit
+// the applications share: 1D/3D domain decomposition, face and corner-aware
+// halo exchange, distributed reductions, and the Figure-1 checkpointed main
+// loop every design (RESTART-FTI, REINIT-FTI, ULFM-FTI) wraps.
+package appkit
+
+import (
+	"fmt"
+
+	"match/internal/fault"
+	"match/internal/fti"
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+// Params is one Table I configuration: application input plus run shape.
+type Params struct {
+	// NX, NY, NZ are grid dimensions; their meaning is per-app (HPCCG:
+	// local grid per process, AMG/miniFE/CoMD: global grid).
+	NX, NY, NZ int
+	// S is LULESH's -s (edge elements per process).
+	S int
+	// NVerts is miniVite's -n (global vertex count).
+	NVerts int
+	// MaxIter is the main-loop trip count.
+	MaxIter int
+	// CkptStride checkpoints every this many iterations (paper: 10).
+	CkptStride int
+	// WorkScale converts one abstract work unit (roughly a flop) into
+	// virtual nanoseconds; it encodes the documented scale-down factor.
+	WorkScale float64
+	// Seed drives any randomized initialization deterministically.
+	Seed int64
+}
+
+// Context is the per-rank execution context handed to applications.
+type Context struct {
+	R      *mpi.Rank
+	World  *mpi.Comm
+	FTI    *fti.FTI
+	Inject *fault.Injector
+	Params Params
+}
+
+// Rank returns this rank's index in the world.
+func (c *Context) Rank() int { return c.R.Rank(c.World) }
+
+// Size returns the world size.
+func (c *Context) Size() int { return c.R.Size(c.World) }
+
+// Charge converts work units into virtual compute time.
+func (c *Context) Charge(units float64) {
+	if units <= 0 {
+		return
+	}
+	c.R.Compute(simnet.Time(units * c.Params.WorkScale))
+}
+
+// App is a MATCH proxy application. Init allocates per-rank state and
+// registers it with FTI (object ids must be >= 1; id 0 is the loop
+// counter). Step runs one main-loop iteration and must propagate MPI
+// errors upward so the recovery frameworks can act on them. Signature
+// returns a collectively-computed scalar fingerprint of the final answer,
+// used to verify that recovered runs match failure-free runs bit-for-bit.
+type App interface {
+	Name() string
+	Init(ctx *Context) error
+	Step(ctx *Context, iter int) error
+	Signature(ctx *Context) (float64, error)
+}
+
+// RunMainLoop drives an App through the paper's Figure 1 structure:
+//
+//	FTI_Protect(...)            (app.Init)
+//	if FTI_Status() != 0: FTI_Recover()
+//	loop: inject; checkpoint every stride; compute step
+//
+// It returns the application's signature. All three fault-tolerance
+// designs call this; only what surrounds it differs.
+func RunMainLoop(ctx *Context, app App) (float64, error) {
+	if err := app.Init(ctx); err != nil {
+		return 0, fmt.Errorf("%s init: %w", app.Name(), err)
+	}
+	iter := 0
+	ctx.FTI.Protect(0, fti.Int{P: &iter})
+	if ctx.FTI.Status() != fti.StatusFresh {
+		if err := ctx.FTI.Recover(); err != nil {
+			return 0, fmt.Errorf("%s recover: %w", app.Name(), err)
+		}
+	}
+	stride := ctx.Params.CkptStride
+	if stride <= 0 {
+		stride = 10
+	}
+	for ; iter < ctx.Params.MaxIter; iter++ {
+		ctx.Inject.MaybeFail(ctx.R, ctx.World, iter)
+		if iter%stride == 0 {
+			if err := ctx.FTI.Checkpoint(int64(iter)); err != nil {
+				return 0, err
+			}
+		}
+		if err := app.Step(ctx, iter); err != nil {
+			return 0, err
+		}
+	}
+	sig, err := app.Signature(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return sig, ctx.FTI.Finalize()
+}
+
+// Dot computes a distributed dot product over the world.
+func Dot(ctx *Context, a, b []float64) (float64, error) {
+	local := 0.0
+	for i := range a {
+		local += a[i] * b[i]
+	}
+	ctx.Charge(2 * float64(len(a)))
+	return mpi.AllreduceF64Scalar(ctx.R, ctx.World, local, mpi.OpSum)
+}
+
+// SumAll reduces a scalar with OpSum over the world.
+func SumAll(ctx *Context, v float64) (float64, error) {
+	return mpi.AllreduceF64Scalar(ctx.R, ctx.World, v, mpi.OpSum)
+}
+
+// MinAll reduces a scalar with OpMin over the world.
+func MinAll(ctx *Context, v float64) (float64, error) {
+	return mpi.AllreduceF64Scalar(ctx.R, ctx.World, v, mpi.OpMin)
+}
+
+// MaxAll reduces a scalar with OpMax over the world.
+func MaxAll(ctx *Context, v float64) (float64, error) {
+	return mpi.AllreduceF64Scalar(ctx.R, ctx.World, v, mpi.OpMax)
+}

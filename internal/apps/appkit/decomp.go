@@ -1,0 +1,287 @@
+package appkit
+
+import (
+	"fmt"
+
+	"match/internal/enc"
+	"match/internal/mpi"
+)
+
+// Decomp3D is a 3D Cartesian domain decomposition: P processes arranged in
+// a PXxPYxPZ grid, each owning a block of a global NXxNYxNZ mesh.
+type Decomp3D struct {
+	PX, PY, PZ int // process grid
+	CX, CY, CZ int // this rank's coordinates
+	NX, NY, NZ int // global mesh
+	LX, LY, LZ int // local block extent
+	OX, OY, OZ int // global offset of the local block
+	rank, size int
+}
+
+// Factor3D splits p into the most cubic px*py*pz factorization.
+func Factor3D(p int) (px, py, pz int) {
+	best := [3]int{p, 1, 1}
+	bestScore := p * p
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			score := (c - a) + (c - b) // prefer near-cubic
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// NewDecomp3D builds the decomposition for the calling rank. The global
+// extents need not divide evenly; remainders go to the low-coordinate
+// blocks.
+func NewDecomp3D(rank, size, nx, ny, nz int) *Decomp3D {
+	px, py, pz := Factor3D(size)
+	d := &Decomp3D{PX: px, PY: py, PZ: pz, NX: nx, NY: ny, NZ: nz, rank: rank, size: size}
+	d.CX = rank % px
+	d.CY = (rank / px) % py
+	d.CZ = rank / (px * py)
+	split := func(n, parts, coord int) (lo, ln int) {
+		base := n / parts
+		rem := n % parts
+		lo = coord*base + min(coord, rem)
+		ln = base
+		if coord < rem {
+			ln++
+		}
+		return lo, ln
+	}
+	d.OX, d.LX = split(nx, px, d.CX)
+	d.OY, d.LY = split(ny, py, d.CY)
+	d.OZ, d.LZ = split(nz, pz, d.CZ)
+	return d
+}
+
+// RankAt returns the rank at process coordinates (cx,cy,cz), or -1 when
+// outside the process grid.
+func (d *Decomp3D) RankAt(cx, cy, cz int) int {
+	if cx < 0 || cx >= d.PX || cy < 0 || cy >= d.PY || cz < 0 || cz >= d.PZ {
+		return -1
+	}
+	return cx + d.PX*(cy+d.PY*cz)
+}
+
+// Neighbor returns the rank offset by (dx,dy,dz) in the process grid
+// (non-periodic), or -1.
+func (d *Decomp3D) Neighbor(dx, dy, dz int) int {
+	return d.RankAt(d.CX+dx, d.CY+dy, d.CZ+dz)
+}
+
+// NeighborWrap is Neighbor with periodic wraparound.
+func (d *Decomp3D) NeighborWrap(dx, dy, dz int) int {
+	wrap := func(c, p int) int { return ((c % p) + p) % p }
+	return d.RankAt(wrap(d.CX+dx, d.PX), wrap(d.CY+dy, d.PY), wrap(d.CZ+dz, d.PZ))
+}
+
+// Field3D is a local scalar field with one ghost layer on each side:
+// storage extents (LX+2) x (LY+2) x (LZ+2); interior indices run 1..L.
+type Field3D struct {
+	D          *Decomp3D
+	SX, SY, SZ int // storage extents
+	V          []float64
+}
+
+// NewField3D allocates a ghosted field over the decomposition.
+func NewField3D(d *Decomp3D) *Field3D {
+	f := &Field3D{D: d, SX: d.LX + 2, SY: d.LY + 2, SZ: d.LZ + 2}
+	f.V = make([]float64, f.SX*f.SY*f.SZ)
+	return f
+}
+
+// Idx converts ghosted coordinates (0..L+1 in each axis) to a flat index.
+func (f *Field3D) Idx(x, y, z int) int { return x + f.SX*(y+f.SY*z) }
+
+// At returns the value at ghosted coordinates.
+func (f *Field3D) At(x, y, z int) float64 { return f.V[f.Idx(x, y, z)] }
+
+// Set stores the value at ghosted coordinates.
+func (f *Field3D) Set(x, y, z int, v float64) { f.V[f.Idx(x, y, z)] = v }
+
+// Interior returns a copy of the interior (non-ghost) values in x-fastest
+// order; used for checkpoint payloads and reductions.
+func (f *Field3D) Interior() []float64 {
+	out := make([]float64, f.D.LX*f.D.LY*f.D.LZ)
+	i := 0
+	for z := 1; z <= f.D.LZ; z++ {
+		for y := 1; y <= f.D.LY; y++ {
+			for x := 1; x <= f.D.LX; x++ {
+				out[i] = f.At(x, y, z)
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// SetInterior writes interior values from a flat x-fastest slice.
+func (f *Field3D) SetInterior(vals []float64) {
+	i := 0
+	for z := 1; z <= f.D.LZ; z++ {
+		for y := 1; y <= f.D.LY; y++ {
+			for x := 1; x <= f.D.LX; x++ {
+				f.Set(x, y, z, vals[i])
+				i++
+			}
+		}
+	}
+}
+
+// halo exchange tags; each axis uses two (one per direction).
+const (
+	tagHaloXLo = 1100 + iota
+	tagHaloXHi
+	tagHaloYLo
+	tagHaloYHi
+	tagHaloZLo
+	tagHaloZHi
+)
+
+// Exchange fills the ghost layers from the six face neighbors using the
+// three-phase (x, then y, then z) scheme, which also propagates edge and
+// corner values — sufficient for 27-point stencils. Missing neighbors
+// (non-periodic domain boundary) leave ghosts untouched.
+func (f *Field3D) Exchange(ctx *Context) error {
+	d := f.D
+	type phase struct {
+		loNbr, hiNbr   int
+		tagLo, tagHi   int
+		packLo, packHi func() []float64
+		fillLo, fillHi func([]float64)
+	}
+	planeYZ := func(x int) []float64 {
+		out := make([]float64, 0, f.SY*f.SZ)
+		for z := 0; z < f.SZ; z++ {
+			for y := 0; y < f.SY; y++ {
+				out = append(out, f.At(x, y, z))
+			}
+		}
+		return out
+	}
+	setPlaneYZ := func(x int, vals []float64) {
+		i := 0
+		for z := 0; z < f.SZ; z++ {
+			for y := 0; y < f.SY; y++ {
+				f.Set(x, y, z, vals[i])
+				i++
+			}
+		}
+	}
+	planeXZ := func(y int) []float64 {
+		out := make([]float64, 0, f.SX*f.SZ)
+		for z := 0; z < f.SZ; z++ {
+			for x := 0; x < f.SX; x++ {
+				out = append(out, f.At(x, y, z))
+			}
+		}
+		return out
+	}
+	setPlaneXZ := func(y int, vals []float64) {
+		i := 0
+		for z := 0; z < f.SZ; z++ {
+			for x := 0; x < f.SX; x++ {
+				f.Set(x, y, z, vals[i])
+				i++
+			}
+		}
+	}
+	planeXY := func(z int) []float64 {
+		out := make([]float64, 0, f.SX*f.SY)
+		for y := 0; y < f.SY; y++ {
+			for x := 0; x < f.SX; x++ {
+				out = append(out, f.At(x, y, z))
+			}
+		}
+		return out
+	}
+	setPlaneXY := func(z int, vals []float64) {
+		i := 0
+		for y := 0; y < f.SY; y++ {
+			for x := 0; x < f.SX; x++ {
+				f.Set(x, y, z, vals[i])
+				i++
+			}
+		}
+	}
+	phases := []phase{
+		{
+			loNbr: d.Neighbor(-1, 0, 0), hiNbr: d.Neighbor(1, 0, 0),
+			tagLo: tagHaloXLo, tagHi: tagHaloXHi,
+			packLo: func() []float64 { return planeYZ(1) },
+			packHi: func() []float64 { return planeYZ(d.LX) },
+			fillLo: func(v []float64) { setPlaneYZ(0, v) },
+			fillHi: func(v []float64) { setPlaneYZ(d.LX+1, v) },
+		},
+		{
+			loNbr: d.Neighbor(0, -1, 0), hiNbr: d.Neighbor(0, 1, 0),
+			tagLo: tagHaloYLo, tagHi: tagHaloYHi,
+			packLo: func() []float64 { return planeXZ(1) },
+			packHi: func() []float64 { return planeXZ(d.LY) },
+			fillLo: func(v []float64) { setPlaneXZ(0, v) },
+			fillHi: func(v []float64) { setPlaneXZ(d.LY+1, v) },
+		},
+		{
+			loNbr: d.Neighbor(0, 0, -1), hiNbr: d.Neighbor(0, 0, 1),
+			tagLo: tagHaloZLo, tagHi: tagHaloZHi,
+			packLo: func() []float64 { return planeXY(1) },
+			packHi: func() []float64 { return planeXY(d.LZ) },
+			fillLo: func(v []float64) { setPlaneXY(0, v) },
+			fillHi: func(v []float64) { setPlaneXY(d.LZ+1, v) },
+		},
+	}
+	for _, ph := range phases {
+		// Post both sends first (eager), then receive; deadlock-free.
+		if ph.loNbr >= 0 {
+			if err := mpi.Send(ctx.R, ctx.World, ph.loNbr, ph.tagLo, enc.Float64sToBytes(ph.packLo())); err != nil {
+				return err
+			}
+		}
+		if ph.hiNbr >= 0 {
+			if err := mpi.Send(ctx.R, ctx.World, ph.hiNbr, ph.tagHi, enc.Float64sToBytes(ph.packHi())); err != nil {
+				return err
+			}
+		}
+		if ph.loNbr >= 0 {
+			m, err := mpi.Recv(ctx.R, ctx.World, ph.loNbr, ph.tagHi)
+			if err != nil {
+				return err
+			}
+			ph.fillLo(enc.BytesToFloat64s(m.Data))
+		}
+		if ph.hiNbr >= 0 {
+			m, err := mpi.Recv(ctx.R, ctx.World, ph.hiNbr, ph.tagLo)
+			if err != nil {
+				return err
+			}
+			ph.fillHi(enc.BytesToFloat64s(m.Data))
+		}
+	}
+	return nil
+}
+
+// String describes the decomposition (diagnostics).
+func (d *Decomp3D) String() string {
+	return fmt.Sprintf("decomp %dx%dx%d procs, local %dx%dx%d at (%d,%d,%d)",
+		d.PX, d.PY, d.PZ, d.LX, d.LY, d.LZ, d.OX, d.OY, d.OZ)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,435 @@
+// Package comd reproduces the CoMD proxy application: classical molecular
+// dynamics with a Lennard-Jones potential on an FCC lattice in a periodic
+// box, 3D spatial decomposition, per-step ghost-atom exchange, and atom
+// migration between ranks as particles move. The integrator is the
+// symplectic kick-drift form, which keeps the checkpointable state to
+// positions and velocities only (forces are recomputed), exactly what the
+// paper's data-object analysis selects for checkpointing.
+package comd
+
+import (
+	"fmt"
+	"math"
+
+	"match/internal/apps/appkit"
+	"match/internal/enc"
+	"match/internal/fti"
+	"match/internal/mpi"
+)
+
+// Model constants (reduced LJ units).
+const (
+	lat     = 1.5874 // FCC lattice parameter
+	cutoff  = 1.45   // LJ cutoff: first-neighbor shell
+	dt      = 0.004  // timestep
+	epsilon = 1.0
+	sigma   = 1.0
+)
+
+// App is the CoMD state for one rank.
+type App struct {
+	d          *appkit.Decomp3D // decomposition of the cell grid
+	glob       [3]float64       // global box edge lengths
+	lo, hi     [3]float64       // local box bounds
+	x, y, z    []float64        // positions (protected)
+	vx, vy, vz []float64        // velocities (protected)
+	fx, fy, fz []float64        // forces (recomputed)
+	gx, gy, gz []float64        // ghost positions
+
+	pe, ke float64
+	energy float64 // last total energy (protected)
+}
+
+// New returns a CoMD instance.
+func New() *App { return &App{} }
+
+// Name implements appkit.App.
+func (a *App) Name() string { return "CoMD" }
+
+// hash64 is a deterministic mixer for initial velocities.
+func hash64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Init implements appkit.App: place FCC atoms in the local box.
+func (a *App) Init(ctx *appkit.Context) error {
+	p := ctx.Params
+	if p.NX <= 0 {
+		return fmt.Errorf("comd: bad lattice %dx%dx%d", p.NX, p.NY, p.NZ)
+	}
+	a.d = appkit.NewDecomp3D(ctx.Rank(), ctx.Size(), p.NX, p.NY, p.NZ)
+	a.glob = [3]float64{float64(p.NX) * lat, float64(p.NY) * lat, float64(p.NZ) * lat}
+	a.lo = [3]float64{float64(a.d.OX) * lat, float64(a.d.OY) * lat, float64(a.d.OZ) * lat}
+	a.hi = [3]float64{float64(a.d.OX+a.d.LX) * lat, float64(a.d.OY+a.d.LY) * lat, float64(a.d.OZ+a.d.LZ) * lat}
+
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	a.x, a.y, a.z = nil, nil, nil
+	a.vx, a.vy, a.vz = nil, nil, nil
+	for cz := a.d.OZ; cz < a.d.OZ+a.d.LZ; cz++ {
+		for cy := a.d.OY; cy < a.d.OY+a.d.LY; cy++ {
+			for cx := a.d.OX; cx < a.d.OX+a.d.LX; cx++ {
+				for b, off := range basis {
+					px := (float64(cx) + off[0]) * lat
+					py := (float64(cy) + off[1]) * lat
+					pz := (float64(cz) + off[2]) * lat
+					id := uint64(((cz*p.NY+cy)*p.NX+cx)*4 + b)
+					h := hash64(id ^ uint64(p.Seed))
+					// Small deterministic thermal velocities.
+					sv := func(bits uint64) float64 {
+						return (float64(bits&0xffff)/65535 - 0.5) * 0.2
+					}
+					a.x = append(a.x, px)
+					a.y = append(a.y, py)
+					a.z = append(a.z, pz)
+					a.vx = append(a.vx, sv(h))
+					a.vy = append(a.vy, sv(h>>16))
+					a.vz = append(a.vz, sv(h>>32))
+				}
+			}
+		}
+	}
+	ctx.FTI.Protect(1, fti.F64s{P: &a.x})
+	ctx.FTI.Protect(2, fti.F64s{P: &a.y})
+	ctx.FTI.Protect(3, fti.F64s{P: &a.z})
+	ctx.FTI.Protect(4, fti.F64s{P: &a.vx})
+	ctx.FTI.Protect(5, fti.F64s{P: &a.vy})
+	ctx.FTI.Protect(6, fti.F64s{P: &a.vz})
+	ctx.FTI.Protect(7, fti.F64{P: &a.energy})
+	return nil
+}
+
+const (
+	tagGhostLo = 3100 + iota
+	tagGhostHi
+	tagMigLo
+	tagMigHi
+)
+
+// axisVals returns pointers to the coordinate slices for an axis.
+func (a *App) axisVals(ax int) []float64 {
+	switch ax {
+	case 0:
+		return a.x
+	case 1:
+		return a.y
+	default:
+		return a.z
+	}
+}
+
+// exchangeGhosts rebuilds ghost positions from the six neighbors with the
+// three-phase scheme; coordinates crossing the periodic boundary are
+// shifted so receivers see continuous positions.
+func (a *App) exchangeGhosts(ctx *appkit.Context) error {
+	a.gx, a.gy, a.gz = a.gx[:0], a.gy[:0], a.gz[:0]
+	dims := [3][3]int{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}}
+	for ax := 0; ax < 3; ax++ {
+		loNbr := a.d.NeighborWrap(dims[ax][0], dims[ax][1], dims[ax][2])
+		hiNbr := a.d.NeighborWrap(-dims[ax][0], -dims[ax][1], -dims[ax][2])
+		if loNbr == ctx.Rank() && hiNbr == ctx.Rank() {
+			continue // single rank in this axis: minimum image handles it
+		}
+		// Collect border atoms from locals plus already-received ghosts.
+		collect := func(takeLo bool) []float64 {
+			var out []float64
+			vals := a.axisVals(ax)
+			push := func(px, py, pz, c float64) {
+				if takeLo {
+					if c < a.lo[ax]+cutoff {
+						shift := 0.0
+						if a.loEdge(ax) {
+							shift = a.glob[ax]
+						}
+						out = a.appendShifted(out, px, py, pz, ax, shift)
+					}
+				} else if c >= a.hi[ax]-cutoff {
+					shift := 0.0
+					if a.hiEdge(ax) {
+						shift = -a.glob[ax]
+					}
+					out = a.appendShifted(out, px, py, pz, ax, shift)
+				}
+			}
+			for i := range a.x {
+				push(a.x[i], a.y[i], a.z[i], vals[i])
+			}
+			gvals := a.ghostAxis(ax)
+			for i := range a.gx {
+				push(a.gx[i], a.gy[i], a.gz[i], gvals[i])
+			}
+			return out
+		}
+		loPayload := collect(true)
+		hiPayload := collect(false)
+		if err := mpi.Send(ctx.R, ctx.World, loNbr, tagGhostLo, enc.Float64sToBytes(loPayload)); err != nil {
+			return err
+		}
+		if err := mpi.Send(ctx.R, ctx.World, hiNbr, tagGhostHi, enc.Float64sToBytes(hiPayload)); err != nil {
+			return err
+		}
+		ml, err := mpi.Recv(ctx.R, ctx.World, loNbr, tagGhostHi)
+		if err != nil {
+			return err
+		}
+		mh, err := mpi.Recv(ctx.R, ctx.World, hiNbr, tagGhostLo)
+		if err != nil {
+			return err
+		}
+		for _, m := range []*mpi.Message{ml, mh} {
+			vals := enc.BytesToFloat64s(m.Data)
+			for i := 0; i+2 < len(vals); i += 3 {
+				a.gx = append(a.gx, vals[i])
+				a.gy = append(a.gy, vals[i+1])
+				a.gz = append(a.gz, vals[i+2])
+			}
+		}
+	}
+	return nil
+}
+
+func (a *App) loEdge(ax int) bool {
+	switch ax {
+	case 0:
+		return a.d.CX == 0
+	case 1:
+		return a.d.CY == 0
+	default:
+		return a.d.CZ == 0
+	}
+}
+
+func (a *App) hiEdge(ax int) bool {
+	switch ax {
+	case 0:
+		return a.d.CX == a.d.PX-1
+	case 1:
+		return a.d.CY == a.d.PY-1
+	default:
+		return a.d.CZ == a.d.PZ-1
+	}
+}
+
+func (a *App) appendShifted(out []float64, px, py, pz float64, ax int, shift float64) []float64 {
+	switch ax {
+	case 0:
+		px += shift
+	case 1:
+		py += shift
+	default:
+		pz += shift
+	}
+	return append(out, px, py, pz)
+}
+
+func (a *App) ghostAxis(ax int) []float64 {
+	switch ax {
+	case 0:
+		return a.gx
+	case 1:
+		return a.gy
+	default:
+		return a.gz
+	}
+}
+
+// minImage wraps a displacement to the nearest periodic image.
+func (a *App) minImage(d float64, ax int) float64 {
+	L := a.glob[ax]
+	if d > L/2 {
+		d -= L
+	} else if d < -L/2 {
+		d += L
+	}
+	return d
+}
+
+// forces computes LJ forces and potential energy; ghosts must be current.
+func (a *App) forces(ctx *appkit.Context) {
+	n := len(a.x)
+	a.fx = grow(a.fx, n)
+	a.fy = grow(a.fy, n)
+	a.fz = grow(a.fz, n)
+	for i := 0; i < n; i++ {
+		a.fx[i], a.fy[i], a.fz[i] = 0, 0, 0
+	}
+	a.pe = 0
+	rc2 := cutoff * cutoff
+	// Shifted potential so e(cutoff)=0.
+	s6 := math.Pow(sigma/cutoff, 6)
+	eShift := 4 * epsilon * (s6*s6 - s6)
+	pairs := 0
+	pair := func(i int, xj, yj, zj float64, half bool) {
+		dx := a.minImage(a.x[i]-xj, 0)
+		dy := a.minImage(a.y[i]-yj, 1)
+		dz := a.minImage(a.z[i]-zj, 2)
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 >= rc2 || r2 == 0 {
+			return
+		}
+		inv2 := sigma * sigma / r2
+		inv6 := inv2 * inv2 * inv2
+		f := 24 * epsilon * inv6 * (2*inv6 - 1) / r2
+		a.fx[i] += f * dx
+		a.fy[i] += f * dy
+		a.fz[i] += f * dz
+		e := 4*epsilon*inv6*(inv6-1) - eShift
+		if half {
+			a.pe += e / 2
+		} else {
+			a.pe += e
+		}
+		pairs++
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i {
+				pair(i, a.x[j], a.y[j], a.z[j], true)
+			}
+		}
+		for g := range a.gx {
+			pair(i, a.gx[g], a.gy[g], a.gz[g], true)
+		}
+	}
+	ctx.Charge(float64(n*(n+len(a.gx))) * 0.6)
+	_ = pairs
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// migrate moves atoms that left the local box to the owning neighbor,
+// three-phase, with periodic wrapping.
+func (a *App) migrate(ctx *appkit.Context) error {
+	for ax := 0; ax < 3; ax++ {
+		dx, dy, dz := 0, 0, 0
+		switch ax {
+		case 0:
+			dx = 1
+		case 1:
+			dy = 1
+		default:
+			dz = 1
+		}
+		loNbr := a.d.NeighborWrap(-dx, -dy, -dz)
+		hiNbr := a.d.NeighborWrap(dx, dy, dz)
+		vals := a.axisVals(ax)
+		var stayIdx []int
+		var loOut, hiOut []float64
+		for i := range a.x {
+			c := vals[i]
+			switch {
+			case c < a.lo[ax]:
+				p := [3]float64{a.x[i], a.y[i], a.z[i]}
+				if a.loEdge(ax) {
+					p[ax] += a.glob[ax]
+				}
+				loOut = append(loOut, p[0], p[1], p[2], a.vx[i], a.vy[i], a.vz[i])
+			case c >= a.hi[ax]:
+				p := [3]float64{a.x[i], a.y[i], a.z[i]}
+				if a.hiEdge(ax) {
+					p[ax] -= a.glob[ax]
+				}
+				hiOut = append(hiOut, p[0], p[1], p[2], a.vx[i], a.vy[i], a.vz[i])
+			default:
+				stayIdx = append(stayIdx, i)
+			}
+		}
+		if loNbr == ctx.Rank() && hiNbr == ctx.Rank() {
+			// Single rank on this axis: wrap in place, nothing to send.
+			for i := range a.x {
+				if vals[i] < 0 {
+					vals[i] += a.glob[ax]
+				} else if vals[i] >= a.glob[ax] {
+					vals[i] -= a.glob[ax]
+				}
+			}
+			continue
+		}
+		keep := func(src []float64) []float64 {
+			out := make([]float64, 0, len(stayIdx))
+			for _, i := range stayIdx {
+				out = append(out, src[i])
+			}
+			return out
+		}
+		a.x, a.y, a.z = keep(a.x), keep(a.y), keep(a.z)
+		a.vx, a.vy, a.vz = keep(a.vx), keep(a.vy), keep(a.vz)
+		if err := mpi.Send(ctx.R, ctx.World, loNbr, tagMigLo, enc.Float64sToBytes(loOut)); err != nil {
+			return err
+		}
+		if err := mpi.Send(ctx.R, ctx.World, hiNbr, tagMigHi, enc.Float64sToBytes(hiOut)); err != nil {
+			return err
+		}
+		ml, err := mpi.Recv(ctx.R, ctx.World, loNbr, tagMigHi)
+		if err != nil {
+			return err
+		}
+		mh, err := mpi.Recv(ctx.R, ctx.World, hiNbr, tagMigLo)
+		if err != nil {
+			return err
+		}
+		for _, m := range []*mpi.Message{ml, mh} {
+			vals := enc.BytesToFloat64s(m.Data)
+			for i := 0; i+5 < len(vals); i += 6 {
+				a.x = append(a.x, vals[i])
+				a.y = append(a.y, vals[i+1])
+				a.z = append(a.z, vals[i+2])
+				a.vx = append(a.vx, vals[i+3])
+				a.vy = append(a.vy, vals[i+4])
+				a.vz = append(a.vz, vals[i+5])
+			}
+		}
+	}
+	return nil
+}
+
+// Step implements appkit.App: one kick-drift MD step plus the global
+// energy reduction CoMD reports every iteration.
+func (a *App) Step(ctx *appkit.Context, iter int) error {
+	if err := a.exchangeGhosts(ctx); err != nil {
+		return err
+	}
+	a.forces(ctx)
+	a.ke = 0
+	for i := range a.x {
+		a.vx[i] += dt * a.fx[i]
+		a.vy[i] += dt * a.fy[i]
+		a.vz[i] += dt * a.fz[i]
+		a.x[i] += dt * a.vx[i]
+		a.y[i] += dt * a.vy[i]
+		a.z[i] += dt * a.vz[i]
+		a.ke += 0.5 * (a.vx[i]*a.vx[i] + a.vy[i]*a.vy[i] + a.vz[i]*a.vz[i])
+	}
+	ctx.Charge(float64(len(a.x)) * 12)
+	if err := a.migrate(ctx); err != nil {
+		return err
+	}
+	e, err := appkit.SumAll(ctx, a.ke+a.pe)
+	if err != nil {
+		return err
+	}
+	a.energy = e
+	return nil
+}
+
+// Signature implements appkit.App: total energy plus global atom count
+// (conservation check built in).
+func (a *App) Signature(ctx *appkit.Context) (float64, error) {
+	count, err := appkit.SumAll(ctx, float64(len(a.x)))
+	if err != nil {
+		return 0, err
+	}
+	return a.energy + count, nil
+}
+
+// Energy returns the last total system energy.
+func (a *App) Energy() float64 { return a.energy }

@@ -1,0 +1,78 @@
+package comd_test
+
+import (
+	"math"
+	"testing"
+
+	"match/internal/apps/appkit"
+	"match/internal/apps/apptest"
+	"match/internal/apps/comd"
+)
+
+func run(t *testing.T, n, cells, steps int) apptest.Result {
+	t.Helper()
+	return apptest.Run(t, n, appkit.Params{NX: cells, NY: cells, NZ: cells, MaxIter: steps},
+		func() appkit.App { return comd.New() })
+}
+
+// Atoms must never be lost or duplicated by migration: the signature
+// embeds the global atom count.
+func TestAtomCountConserved(t *testing.T) {
+	short := run(t, 8, 6, 1)
+	long := run(t, 8, 6, 25)
+	// signature = energy + count; energies are small; count dominates and
+	// must not drift by even one atom.
+	want := float64(6 * 6 * 6 * 4)
+	for _, res := range []apptest.Result{short, long} {
+		count := math.Round(res.Sigs[0] - energyOf(res))
+		if count != want {
+			t.Fatalf("atom count %v, want %v", count, want)
+		}
+	}
+}
+
+func energyOf(res apptest.Result) float64 {
+	return res.Apps[0].(*comd.App).Energy()
+}
+
+// Total energy must be approximately conserved by the symplectic
+// integrator over a modest trajectory.
+func TestEnergyApproximatelyConserved(t *testing.T) {
+	short := run(t, 8, 6, 2)
+	long := run(t, 8, 6, 30)
+	e0 := energyOf(short)
+	e1 := energyOf(long)
+	scale := math.Abs(e0)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(e1-e0)/scale > 0.05 {
+		t.Fatalf("energy drifted: %v -> %v", e0, e1)
+	}
+}
+
+func TestSignatureAgreesAcrossRanks(t *testing.T) {
+	res := run(t, 8, 6, 5)
+	for i, s := range res.Sigs {
+		if s != res.Sigs[0] {
+			t.Fatalf("rank %d signature %v != %v", i, s, res.Sigs[0])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, 4, 6, 8)
+	b := run(t, 4, 6, 8)
+	if a.Sigs[0] != b.Sigs[0] {
+		t.Fatalf("non-deterministic: %v vs %v", a.Sigs[0], b.Sigs[0])
+	}
+}
+
+// Single-rank runs exercise the periodic minimum-image path with no
+// neighbor exchange at all.
+func TestSingleRankPeriodic(t *testing.T) {
+	res := run(t, 1, 4, 15)
+	if res.Apps[0].(*comd.App).Energy() == 0 {
+		t.Fatal("no energy computed")
+	}
+}

@@ -1,0 +1,59 @@
+package hpccg_test
+
+import (
+	"math"
+	"testing"
+
+	"match/internal/apps/appkit"
+	"match/internal/apps/apptest"
+	"match/internal/apps/hpccg"
+)
+
+func TestCGConverges(t *testing.T) {
+	res := apptest.Run(t, 4, appkit.Params{NX: 6, NY: 6, NZ: 6, MaxIter: 25},
+		func() appkit.App { return hpccg.New() })
+	for i, a := range res.Apps {
+		app := a.(*hpccg.App)
+		if app.Residual() > 1e-8 {
+			t.Fatalf("rank %d residual %v after 25 iters (b=A*ones must converge)", i, app.Residual())
+		}
+	}
+}
+
+func TestSignatureAgreesAcrossRanks(t *testing.T) {
+	res := apptest.Run(t, 4, appkit.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 8},
+		func() appkit.App { return hpccg.New() })
+	for i, s := range res.Sigs {
+		if s != res.Sigs[0] {
+			t.Fatalf("rank %d signature %v != %v", i, s, res.Sigs[0])
+		}
+	}
+}
+
+// The solution of A x = A*ones is ones; CG must find it.
+func TestSolvesToOnes(t *testing.T) {
+	res := apptest.Run(t, 2, appkit.Params{NX: 5, NY: 5, NZ: 5, MaxIter: 40},
+		func() appkit.App { return hpccg.New() })
+	// Signature = rho + x.x; with x == ones, x.x = global unknowns.
+	want := float64(5 * 5 * 5 * 2)
+	if math.Abs(res.Sigs[0]-want) > 1e-6 {
+		t.Fatalf("signature %v, want ~%v (x=ones)", res.Sigs[0], want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := appkit.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 10}
+	a := apptest.Run(t, 4, p, func() appkit.App { return hpccg.New() })
+	b := apptest.Run(t, 4, p, func() appkit.App { return hpccg.New() })
+	if a.Sigs[0] != b.Sigs[0] {
+		t.Fatalf("non-deterministic: %v vs %v", a.Sigs[0], b.Sigs[0])
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	res := apptest.Run(t, 1, appkit.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 20},
+		func() appkit.App { return hpccg.New() })
+	if res.Apps[0].(*hpccg.App).Residual() > 1e-8 {
+		t.Fatal("single-rank CG did not converge")
+	}
+}

@@ -1,0 +1,78 @@
+package lulesh_test
+
+import (
+	"testing"
+
+	"match/internal/apps/appkit"
+	"match/internal/apps/apptest"
+	"match/internal/apps/lulesh"
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+func run(t *testing.T, n, s, steps int) apptest.Result {
+	t.Helper()
+	return apptest.Run(t, n, appkit.Params{S: s, MaxIter: steps},
+		func() appkit.App { return lulesh.New() })
+}
+
+func TestBlastAdvancesTime(t *testing.T) {
+	res := run(t, 8, 4, 20)
+	app := res.Apps[0].(*lulesh.App)
+	if app.Time() <= 0 {
+		t.Fatal("physical time did not advance (dt collapsed)")
+	}
+}
+
+// The blast must form a shock: density rises above the background.
+func TestShockForms(t *testing.T) {
+	res := run(t, 8, 4, 30)
+	// signature = totE + rhoMax + t; subtract knowns loosely: just check
+	// it differs from the t=0 configuration signature.
+	init := run(t, 8, 4, 1)
+	if res.Sigs[0] == init.Sigs[0] {
+		t.Fatal("no dynamics")
+	}
+}
+
+func TestSignatureAgreesAcrossRanks(t *testing.T) {
+	res := run(t, 8, 4, 10)
+	for i, s := range res.Sigs {
+		if s != res.Sigs[0] {
+			t.Fatalf("rank %d signature %v != %v", i, s, res.Sigs[0])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, 8, 4, 12)
+	b := run(t, 8, 4, 12)
+	if a.Sigs[0] != b.Sigs[0] {
+		t.Fatalf("non-deterministic: %v vs %v", a.Sigs[0], b.Sigs[0])
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	res := run(t, 1, 6, 15)
+	if res.Apps[0].(*lulesh.App).Time() <= 0 {
+		t.Fatal("single-rank hydro stalled")
+	}
+}
+
+// LULESH requires cube process counts, as the paper notes (64 and 512).
+func TestRejectsNonCubeProcs(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	var got error
+	mpi.Launch(c, 6, 0, func(r *mpi.Rank) {
+		ctx := &appkit.Context{R: r, World: r.Job().World(),
+			Params: appkit.Params{S: 4, MaxIter: 1, WorkScale: 1}}
+		err := lulesh.New().Init(ctx)
+		if r.Rank(r.Job().World()) == 0 {
+			got = err
+		}
+	})
+	c.Run()
+	if got == nil {
+		t.Fatal("non-cube process count accepted")
+	}
+}

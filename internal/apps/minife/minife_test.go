@@ -1,0 +1,59 @@
+package minife_test
+
+import (
+	"testing"
+
+	"match/internal/apps/appkit"
+	"match/internal/apps/apptest"
+	"match/internal/apps/minife"
+)
+
+func run(t *testing.T, n, mesh, iters int) apptest.Result {
+	t.Helper()
+	return apptest.Run(t, n, appkit.Params{NX: mesh, NY: mesh, NZ: mesh, MaxIter: iters},
+		func() appkit.App { return minife.New() })
+}
+
+func TestCGReducesResidual(t *testing.T) {
+	short := run(t, 4, 8, 2)
+	long := run(t, 4, 8, 40)
+	r0 := short.Apps[0].(*minife.App).Residual()
+	r1 := long.Apps[0].(*minife.App).Residual()
+	if !(r1 < r0/100) {
+		t.Fatalf("FE CG stalls: residual %v after 2 iters, %v after 40", r0, r1)
+	}
+}
+
+func TestSignatureAgreesAcrossRanks(t *testing.T) {
+	res := run(t, 8, 8, 10)
+	for i, s := range res.Sigs {
+		if s != res.Sigs[0] {
+			t.Fatalf("rank %d signature %v != %v", i, s, res.Sigs[0])
+		}
+	}
+}
+
+// The assembled operator must be consistent across decompositions: the
+// same problem on 1 rank and 8 ranks converges to the same answer.
+func TestDecompositionInvariance(t *testing.T) {
+	a := run(t, 1, 6, 30)
+	b := run(t, 8, 6, 30)
+	// CG trajectories differ in reduction order; compare converged
+	// solutions loosely.
+	diff := a.Sigs[0] - b.Sigs[0]
+	if diff < 0 {
+		diff = -diff
+	}
+	rel := diff / a.Sigs[0]
+	if rel > 1e-6 {
+		t.Fatalf("1-rank vs 8-rank solutions differ: %v vs %v (rel %v)", a.Sigs[0], b.Sigs[0], rel)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, 4, 6, 10)
+	b := run(t, 4, 6, 10)
+	if a.Sigs[0] != b.Sigs[0] {
+		t.Fatalf("non-deterministic: %v vs %v", a.Sigs[0], b.Sigs[0])
+	}
+}

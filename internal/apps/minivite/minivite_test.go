@@ -1,0 +1,68 @@
+package minivite_test
+
+import (
+	"testing"
+
+	"match/internal/apps/appkit"
+	"match/internal/apps/apptest"
+	"match/internal/apps/minivite"
+)
+
+func run(t *testing.T, n, verts, iters int) apptest.Result {
+	t.Helper()
+	return apptest.Run(t, n, appkit.Params{NVerts: verts, MaxIter: iters},
+		func() appkit.App { return minivite.New() })
+}
+
+// Louvain must find community structure in the locality-biased graph:
+// modularity well above the singleton partition's (which is negative).
+func TestModularityImproves(t *testing.T) {
+	res := run(t, 4, 512, 12)
+	mod := res.Apps[0].(*minivite.App).Modularity()
+	if mod < 0.1 {
+		t.Fatalf("modularity %v after 12 sweeps; expected structure to emerge", mod)
+	}
+	if mod > 1 {
+		t.Fatalf("modularity %v out of range", mod)
+	}
+}
+
+func TestSignatureAgreesAcrossRanks(t *testing.T) {
+	res := run(t, 8, 512, 6)
+	for i, s := range res.Sigs {
+		if s != res.Sigs[0] {
+			t.Fatalf("rank %d signature %v != %v", i, s, res.Sigs[0])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, 4, 256, 8)
+	b := run(t, 4, 256, 8)
+	if a.Sigs[0] != b.Sigs[0] {
+		t.Fatalf("non-deterministic: %v vs %v", a.Sigs[0], b.Sigs[0])
+	}
+}
+
+// Modularity must be invariant to the process count (same graph, same
+// sweeps — only the partitioning of work differs).
+func TestDecompositionInvariance(t *testing.T) {
+	a := run(t, 2, 512, 8)
+	b := run(t, 8, 512, 8)
+	am := a.Apps[0].(*minivite.App).Modularity()
+	bm := b.Apps[0].(*minivite.App).Modularity()
+	diff := am - bm
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-9 {
+		t.Fatalf("modularity depends on decomposition: %v vs %v", am, bm)
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	res := run(t, 1, 256, 8)
+	if res.Apps[0].(*minivite.App).Modularity() <= 0 {
+		t.Fatal("single-rank Louvain found no structure")
+	}
+}

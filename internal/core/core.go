@@ -1,0 +1,316 @@
+// Package core is MATCH's measurement harness — the paper's primary
+// contribution. It composes a proxy application with one of the three
+// fault-tolerance designs (RESTART-FTI, REINIT-FTI, ULFM-FTI), runs it on
+// the simulated cluster at a Table I configuration with or without an
+// injected process failure, and reports the execution-time breakdown the
+// paper's figures plot: Application / Write Checkpoints / Recovery.
+package core
+
+import (
+	"fmt"
+
+	"match/internal/apps"
+	"match/internal/apps/appkit"
+	"match/internal/fault"
+	"match/internal/fti"
+	"match/internal/mpi"
+	"match/internal/reinit"
+	"match/internal/restart"
+	"match/internal/simnet"
+	"match/internal/storage"
+	"match/internal/ulfm"
+)
+
+// Design selects the fault-tolerance composition.
+type Design int
+
+// The three designs the paper evaluates.
+const (
+	RestartFTI Design = iota
+	ReinitFTI
+	UlfmFTI
+)
+
+func (d Design) String() string {
+	switch d {
+	case RestartFTI:
+		return "RESTART-FTI"
+	case ReinitFTI:
+		return "REINIT-FTI"
+	case UlfmFTI:
+		return "ULFM-FTI"
+	}
+	return fmt.Sprintf("design(%d)", int(d))
+}
+
+// Designs lists all three in the paper's plotting order.
+func Designs() []Design { return []Design{RestartFTI, ReinitFTI, UlfmFTI} }
+
+// InputSize is the paper's Small/Medium/Large problem selector.
+type InputSize int
+
+// Problem sizes of Table I.
+const (
+	Small InputSize = iota
+	Medium
+	Large
+)
+
+func (s InputSize) String() string {
+	switch s {
+	case Small:
+		return "Small"
+	case Medium:
+		return "Medium"
+	case Large:
+		return "Large"
+	}
+	return fmt.Sprintf("input(%d)", int(s))
+}
+
+// InputSizes lists all three.
+func InputSizes() []InputSize { return []InputSize{Small, Medium, Large} }
+
+// Config describes one benchmark run.
+type Config struct {
+	App    string
+	Design Design
+	Procs  int // 64, 128, 256, 512 in the paper
+	Nodes  int // 32 in the paper
+	Input  InputSize
+
+	InjectFault bool
+	FaultSeed   int64
+	FaultKind   fault.Kind
+
+	FTILevel   fti.Level // default L1, as the paper benchmarks
+	CkptStride int       // default 10, as the paper
+
+	// Overrides for ablation studies; zero values select the calibrated
+	// defaults.
+	Ulfm    ulfm.Config
+	Reinit  reinit.Config
+	Restart restart.Config
+
+	// Params overrides the Table I parameter resolution entirely when
+	// MaxIter is non-zero (used by custom applications).
+	Params appkit.Params
+}
+
+// Breakdown is the measured result of one run: the stacked components of
+// the paper's Figures 5/6/8/9 plus bookkeeping.
+type Breakdown struct {
+	Total    simnet.Time // wall time of the whole run (max over ranks)
+	App      simnet.Time // Total - Ckpt - Recovery
+	Ckpt     simnet.Time // time inside FTI_Checkpoint (rank 0)
+	Recovery simnet.Time // MPI recovery time (framework-reported)
+
+	Signature  float64 // collective answer fingerprint (rank 0)
+	Recoveries int
+	Completed  bool
+	CkptCount  int
+	CkptBytes  int64
+	Messages   int64
+	NetBytes   int64
+}
+
+// recorder accumulates per-rank results across job incarnations.
+type recorder struct {
+	sigs      map[int]float64
+	finish    map[int]simnet.Time
+	ckptTime  map[int]simnet.Time
+	ckptCount int
+	ckptBytes int64
+	errs      []error
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		sigs:     make(map[int]float64),
+		finish:   make(map[int]simnet.Time),
+		ckptTime: make(map[int]simnet.Time),
+	}
+}
+
+var execSeq int
+
+// Run executes one configuration to completion and returns its breakdown.
+func Run(cfg Config) (Breakdown, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 32
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 64
+	}
+	if cfg.FTILevel == 0 {
+		cfg.FTILevel = fti.L1
+	}
+	if cfg.CkptStride == 0 {
+		cfg.CkptStride = 10
+	}
+	factory, err := apps.Lookup(cfg.App)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	params, scale, err := ResolveParams(cfg)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	params.CkptStride = cfg.CkptStride
+
+	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes})
+	cluster.Scheduler().SetDeadline(200000 * simnet.Second) // deadlock net
+	st := storage.New(cluster, storage.Config{BytesScale: scale})
+
+	var inj *fault.Injector
+	if cfg.InjectFault {
+		inj = fault.NewInjector(fault.NewPlan(cfg.FaultSeed, cfg.Procs, params.MaxIter, cfg.FaultKind))
+	} else {
+		inj = fault.NewInjector(fault.Plan{})
+	}
+
+	execSeq++
+	execID := fmt.Sprintf("%s-%s-%d-%d", cfg.App, cfg.Design, cfg.Procs, execSeq)
+	rec := newRecorder()
+
+	// runApp is the shared resilient main: FTI + the Figure-1 loop.
+	runApp := func(r *mpi.Rank, world *mpi.Comm) error {
+		f, ferr := fti.Init(fti.Config{
+			Level:      cfg.FTILevel,
+			ExecID:     execID,
+			BytesScale: scale,
+		}, r, world, st)
+		if ferr != nil {
+			return ferr
+		}
+		rank := r.Rank(world)
+		defer func() {
+			rec.ckptTime[rank] += f.Stats.CkptTime
+			if rank == 0 {
+				rec.ckptCount += f.Stats.CkptCount
+				rec.ckptBytes += f.Stats.CkptBytes
+			}
+		}()
+		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params}
+		sig, aerr := appkit.RunMainLoop(ctx, factory())
+		if aerr != nil {
+			return aerr
+		}
+		rec.sigs[rank] = sig
+		rec.finish[rank] = r.Now()
+		return nil
+	}
+
+	var bd Breakdown
+	switch cfg.Design {
+	case RestartFTI:
+		err = runRestart(cfg, cluster, rec, runApp, scale, &bd)
+	case ReinitFTI:
+		err = runReinit(cfg, cluster, rec, runApp, scale, &bd)
+	case UlfmFTI:
+		err = runUlfm(cfg, cluster, rec, runApp, scale, &bd)
+	default:
+		return Breakdown{}, fmt.Errorf("core: unknown design %v", cfg.Design)
+	}
+	if err != nil {
+		return bd, err
+	}
+
+	for _, t := range rec.finish {
+		if t > bd.Total {
+			bd.Total = t
+		}
+	}
+	bd.Ckpt = rec.ckptTime[0]
+	bd.App = bd.Total - bd.Ckpt - bd.Recovery
+	bd.Signature = rec.sigs[0]
+	bd.Completed = len(rec.sigs) == cfg.Procs
+	bd.CkptCount = rec.ckptCount
+	bd.CkptBytes = rec.ckptBytes
+	if !bd.Completed {
+		return bd, fmt.Errorf("core: only %d/%d ranks completed (%v)", len(rec.sigs), cfg.Procs, firstErr(rec.errs))
+	}
+	for r, s := range rec.sigs {
+		if s != rec.sigs[0] {
+			return bd, fmt.Errorf("core: rank %d signature %v != rank 0 signature %v", r, s, rec.sigs[0])
+		}
+	}
+	return bd, nil
+}
+
+func firstErr(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs[0]
+}
+
+func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
+	runApp func(*mpi.Rank, *mpi.Comm) error, scale float64, bd *Breakdown) error {
+	rcfg := cfg.Restart
+	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
+	sup := restart.Supervise(cluster, rcfg, cfg.Procs, 0, func(r *mpi.Rank) {
+		if err := runApp(r, r.Job().World()); err != nil {
+			// Teardown-induced errors are expected on doomed incarnations.
+			rec.errs = append(rec.errs, err)
+		}
+	})
+	cluster.Run()
+	for _, rcv := range sup.Recoveries {
+		bd.Recovery += rcv.Duration()
+	}
+	bd.Recoveries = len(sup.Recoveries)
+	for _, j := range sup.Jobs {
+		bd.Messages += j.Stats.Messages
+		bd.NetBytes += j.Stats.Bytes
+	}
+	return nil
+}
+
+func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
+	runApp func(*mpi.Rank, *mpi.Comm) error, scale float64, bd *Breakdown) error {
+	var rt *reinit.Runtime
+	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
+		if err := rt.Run(r); err != nil {
+			rec.errs = append(rec.errs, err)
+		}
+	})
+	job.BytesScale = scale
+	rt = reinit.NewRuntime(job, cfg.Reinit, func(r *mpi.Rank, state reinit.State) error {
+		return runApp(r, rt.World())
+	})
+	cluster.Run()
+	rt.Stop()
+	rec.errs = append(rec.errs, rt.Errs...)
+	for _, rcv := range rt.Recoveries {
+		bd.Recovery += rcv.Duration()
+	}
+	bd.Recoveries = len(rt.Recoveries)
+	bd.Messages = job.Stats.Messages
+	bd.NetBytes = job.Stats.Bytes
+	return nil
+}
+
+func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
+	runApp func(*mpi.Rank, *mpi.Comm) error, scale float64, bd *Breakdown) error {
+	var rt *ulfm.Runtime
+	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
+		if err := rt.RunResilient(r); err != nil {
+			rec.errs = append(rec.errs, err)
+		}
+	})
+	job.BytesScale = scale
+	rt = ulfm.NewRuntime(job, cfg.Ulfm, func(r *mpi.Rank, world *mpi.Comm, restarted bool) error {
+		return runApp(r, world)
+	})
+	cluster.Run()
+	rt.Stop()
+	rec.errs = append(rec.errs, rt.Errs...)
+	for _, rcv := range rt.Recoveries {
+		bd.Recovery += rcv.Duration()
+	}
+	bd.Recoveries = len(rt.Recoveries)
+	bd.Messages = job.Stats.Messages
+	bd.NetBytes = job.Stats.Bytes
+	return nil
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"match/internal/apps/appkit"
+)
+
+// tinyParams returns a fast configuration for an app, suitable for the
+// 8-rank integration matrix.
+func tinyParams(app string) appkit.Params {
+	switch app {
+	case "AMG":
+		return appkit.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 8, WorkScale: 50}
+	case "CoMD":
+		return appkit.Params{NX: 6, NY: 6, NZ: 6, MaxIter: 8, WorkScale: 5}
+	case "HPCCG":
+		return appkit.Params{NX: 6, NY: 6, NZ: 6, MaxIter: 10, WorkScale: 20}
+	case "LULESH":
+		return appkit.Params{S: 4, MaxIter: 8, WorkScale: 10}
+	case "miniFE":
+		return appkit.Params{NX: 8, NY: 8, NZ: 8, MaxIter: 10, WorkScale: 20}
+	case "miniVite":
+		return appkit.Params{NVerts: 512, MaxIter: 8, WorkScale: 10}
+	}
+	return appkit.Params{}
+}
+
+var allApps = []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}
+
+// The headline correctness property of the whole system: for every proxy
+// application and every fault-tolerance design, a run that suffers an
+// injected process failure recovers and produces a signature bitwise
+// identical to the failure-free run.
+func TestEveryAppEveryDesignRecoversExactly(t *testing.T) {
+	for _, app := range allApps {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			params := tinyParams(app)
+			params.CkptStride = 3
+			base := Config{
+				App:    app,
+				Procs:  8,
+				Nodes:  4,
+				Params: params,
+			}
+			// Failure-free reference (REINIT has no steady-state impact).
+			ref := base
+			ref.Design = ReinitFTI
+			refBd, err := Run(ref)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if refBd.Recoveries != 0 {
+				t.Fatalf("reference run recovered %d times", refBd.Recoveries)
+			}
+			for _, d := range Designs() {
+				d := d
+				t.Run(d.String(), func(t *testing.T) {
+					cfg := base
+					cfg.Design = d
+					cfg.InjectFault = true
+					cfg.FaultSeed = 7
+					bd, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if !bd.Completed {
+						t.Fatal("run did not complete")
+					}
+					if bd.Recoveries != 1 {
+						t.Fatalf("recoveries = %d, want 1", bd.Recoveries)
+					}
+					if bd.Signature != refBd.Signature {
+						t.Fatalf("signature %v != failure-free %v: recovery corrupted the answer",
+							bd.Signature, refBd.Signature)
+					}
+					if bd.Recovery <= 0 {
+						t.Fatal("no recovery time recorded")
+					}
+				})
+			}
+		})
+	}
+}
+
+// Without failures, all three designs must produce the identical answer
+// (they share the same deterministic problem instance).
+func TestDesignsAgreeWithoutFailure(t *testing.T) {
+	for _, app := range allApps {
+		params := tinyParams(app)
+		var sigs []float64
+		for _, d := range Designs() {
+			bd, err := Run(Config{App: app, Design: d, Procs: 8, Nodes: 4, Params: params})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, d, err)
+			}
+			sigs = append(sigs, bd.Signature)
+		}
+		if sigs[0] != sigs[1] || sigs[1] != sigs[2] {
+			t.Fatalf("%s: designs disagree: %v", app, sigs)
+		}
+	}
+}
+
+// Recovery-cost ordering must reproduce the paper's central finding:
+// Reinit < ULFM < Restart.
+func TestRecoveryOrdering(t *testing.T) {
+	params := tinyParams("HPCCG")
+	params.CkptStride = 3
+	recov := map[Design]float64{}
+	for _, d := range Designs() {
+		cfg := Config{App: "HPCCG", Design: d, Procs: 8, Nodes: 4,
+			Params: params, InjectFault: true, FaultSeed: 3}
+		bd, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		recov[d] = bd.Recovery.Seconds()
+	}
+	if !(recov[ReinitFTI] < recov[UlfmFTI] && recov[UlfmFTI] < recov[RestartFTI]) {
+		t.Fatalf("recovery ordering violated: reinit=%.3f ulfm=%.3f restart=%.3f",
+			recov[ReinitFTI], recov[UlfmFTI], recov[RestartFTI])
+	}
+}
+
+// ULFM must slow down the application even without failures (the paper's
+// first conclusion); Reinit must not.
+func TestUlfmSteadyStateOverhead(t *testing.T) {
+	params := tinyParams("HPCCG")
+	times := map[Design]float64{}
+	for _, d := range Designs() {
+		bd, err := Run(Config{App: "HPCCG", Design: d, Procs: 8, Nodes: 4, Params: params})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		times[d] = bd.App.Seconds()
+	}
+	if times[UlfmFTI] <= times[RestartFTI] {
+		t.Errorf("ULFM app time %.4f not above baseline %.4f", times[UlfmFTI], times[RestartFTI])
+	}
+	// Reinit within 2% of the restart baseline.
+	if diff := times[ReinitFTI] - times[RestartFTI]; diff > 0.02*times[RestartFTI] {
+		t.Errorf("Reinit app time %.4f deviates from baseline %.4f", times[ReinitFTI], times[RestartFTI])
+	}
+}
+
+func TestResolveParamsTableI(t *testing.T) {
+	for _, e := range TableI() {
+		cfg := Config{App: e.App, Input: e.Input}
+		p, scale, err := ResolveParams(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.App, e.Input, err)
+		}
+		if p.MaxIter <= 0 || p.WorkScale <= 0 {
+			t.Fatalf("%s/%s: bad params %+v", e.App, e.Input, p)
+		}
+		if scale < 1 {
+			t.Fatalf("%s/%s: bytes scale %v < 1", e.App, e.Input, scale)
+		}
+		if p.Seed == 0 {
+			t.Fatalf("%s/%s: unseeded", e.App, e.Input)
+		}
+	}
+	if len(TableI()) != 18 { // 6 apps x 3 inputs
+		t.Fatalf("Table I has %d rows, want 18", len(TableI()))
+	}
+}
+
+func TestProcCounts(t *testing.T) {
+	if got := ProcCounts("LULESH"); len(got) != 2 || got[0] != 64 || got[1] != 512 {
+		t.Fatalf("LULESH proc counts %v (must be cubes only)", got)
+	}
+	if got := ProcCounts("AMG"); len(got) != 4 {
+		t.Fatalf("AMG proc counts %v", got)
+	}
+}
+
+func TestFigureConfigs(t *testing.T) {
+	opts := SuiteOptions{Apps: []string{"HPCCG"}, Scales: []int{64, 128}}
+	cfgs, err := FigureConfigs(5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 scales x 3 designs, no fault.
+	if len(cfgs) != 6 {
+		t.Fatalf("fig5 configs = %d, want 6", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.InjectFault {
+			t.Fatal("fig5 must not inject faults")
+		}
+	}
+	cfgs, err = FigureConfigs(9, SuiteOptions{Apps: []string{"AMG"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 inputs x 3 designs with fault at the default scale.
+	if len(cfgs) != 9 {
+		t.Fatalf("fig9 configs = %d, want 9", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if !c.InjectFault || c.Procs != DefaultProcs {
+			t.Fatalf("bad fig9 config %+v", c)
+		}
+	}
+	if _, err := FigureConfigs(3, opts); err == nil {
+		t.Fatal("figure 3 accepted")
+	}
+}
+
+func TestRunAveragedAndReports(t *testing.T) {
+	params := tinyParams("HPCCG")
+	params.CkptStride = 3
+	cfg := Config{App: "HPCCG", Design: ReinitFTI, Procs: 8, Nodes: 4,
+		Params: params, InjectFault: true, FaultSeed: 11}
+	bd, results, err := RunAveraged(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Config.FaultSeed == results[1].Config.FaultSeed {
+		t.Fatal("reps reused the fault seed")
+	}
+	if bd.Total <= 0 {
+		t.Fatal("empty average")
+	}
+	var sb strings.Builder
+	WriteFigure(&sb, 7, results)
+	if !strings.Contains(sb.String(), "HPCCG") || !strings.Contains(sb.String(), "recovery") {
+		t.Fatalf("figure output malformed:\n%s", sb.String())
+	}
+	sb.Reset()
+	WriteCSV(&sb, results)
+	if lines := strings.Count(sb.String(), "\n"); lines != 3 {
+		t.Fatalf("csv lines = %d, want 3", lines)
+	}
+	sb.Reset()
+	WriteTableI(&sb)
+	for _, app := range allApps {
+		if !strings.Contains(sb.String(), app) {
+			t.Fatalf("table I missing %s", app)
+		}
+	}
+}
+
+func TestComputeRatios(t *testing.T) {
+	params := tinyParams("HPCCG")
+	params.CkptStride = 3
+	var results []Result
+	for _, d := range Designs() {
+		cfg := Config{App: "HPCCG", Design: d, Procs: 8, Nodes: 4,
+			Params: params, InjectFault: true, FaultSeed: 3}
+		bd, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		results = append(results, Result{Config: cfg, Breakdown: bd})
+	}
+	r := ComputeRatios(results)
+	if r.Samples != 1 {
+		t.Fatalf("samples = %d", r.Samples)
+	}
+	if r.UlfmOverReinitAvg <= 1 {
+		t.Errorf("ULFM/Reinit = %.2f, want > 1", r.UlfmOverReinitAvg)
+	}
+	if r.RestartOverReinitAvg <= r.UlfmOverReinitAvg {
+		t.Errorf("Restart/Reinit %.2f not above ULFM/Reinit %.2f",
+			r.RestartOverReinitAvg, r.UlfmOverReinitAvg)
+	}
+	var sb strings.Builder
+	r.Write(&sb)
+	if !strings.Contains(sb.String(), "ULFM / Reinit") {
+		t.Fatal("ratio report malformed")
+	}
+}

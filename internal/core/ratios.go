@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Ratios are the paper's §V-C headline comparisons, derived from
+// with-failure runs (Figures 6/7 data).
+type Ratios struct {
+	UlfmOverReinitAvg    float64 // paper: ~4x
+	UlfmOverReinitMax    float64 // paper: up to 13x
+	RestartOverReinitAvg float64 // paper: ~16x
+	RestartOverReinitMax float64 // paper: up to 22x
+	RestartOverUlfmAvg   float64 // paper: 2-3x
+	CkptShareAvg         float64 // checkpoint share of total time; paper: ~13%
+	Samples              int
+}
+
+// ComputeRatios derives the headline ratios from a result set containing
+// all three designs for matching (app, procs, input) cells.
+func ComputeRatios(results []Result) Ratios {
+	type cell struct {
+		app, input string
+		procs      int
+	}
+	rec := map[cell]map[Design]Breakdown{}
+	var ratios Ratios
+	var ckptShareSum float64
+	var ckptN int
+	for _, r := range results {
+		c := cell{r.Config.App, r.Config.Input.String(), r.Config.Procs}
+		if rec[c] == nil {
+			rec[c] = map[Design]Breakdown{}
+		}
+		rec[c][r.Config.Design] = r.Breakdown
+		if r.Breakdown.Total > 0 && r.Breakdown.Ckpt > 0 {
+			ckptShareSum += r.Breakdown.Ckpt.Seconds() / r.Breakdown.Total.Seconds()
+			ckptN++
+		}
+	}
+	var ur, rr, ru []float64
+	for _, m := range rec {
+		re, haveRe := m[ReinitFTI]
+		ul, haveUl := m[UlfmFTI]
+		rs, haveRs := m[RestartFTI]
+		if haveRe && haveUl && re.Recovery > 0 {
+			ur = append(ur, ul.Recovery.Seconds()/re.Recovery.Seconds())
+		}
+		if haveRe && haveRs && re.Recovery > 0 {
+			rr = append(rr, rs.Recovery.Seconds()/re.Recovery.Seconds())
+		}
+		if haveUl && haveRs && ul.Recovery > 0 {
+			ru = append(ru, rs.Recovery.Seconds()/ul.Recovery.Seconds())
+		}
+	}
+	ratios.UlfmOverReinitAvg, ratios.UlfmOverReinitMax = avgMax(ur)
+	ratios.RestartOverReinitAvg, ratios.RestartOverReinitMax = avgMax(rr)
+	ratios.RestartOverUlfmAvg, _ = avgMax(ru)
+	if ckptN > 0 {
+		ratios.CkptShareAvg = ckptShareSum / float64(ckptN)
+	}
+	ratios.Samples = len(ur)
+	return ratios
+}
+
+func avgMax(v []float64) (avg, max float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	return sum / float64(len(v)), max
+}
+
+// Write renders the ratios next to the paper's claims.
+func (r Ratios) Write(w io.Writer) {
+	fmt.Fprintln(w, "== Headline ratios (paper §V-C) ==")
+	fmt.Fprintf(w, "%-34s %10s %12s\n", "metric", "measured", "paper")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "ULFM / Reinit recovery (avg)", r.UlfmOverReinitAvg, "~4x")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "ULFM / Reinit recovery (max)", r.UlfmOverReinitMax, "up to 13x")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Restart / Reinit recovery (avg)", r.RestartOverReinitAvg, "~16x")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Restart / Reinit recovery (max)", r.RestartOverReinitMax, "up to 22x")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Restart / ULFM recovery (avg)", r.RestartOverUlfmAvg, "2-3x")
+	fmt.Fprintf(w, "%-34s %9.1f%% %12s\n", "checkpoint share of runtime (avg)", 100*r.CkptShareAvg, "~13%")
+	fmt.Fprintf(w, "(over %d design-comparable cells)\n\n", r.Samples)
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"match/internal/simnet"
+)
+
+// Result pairs a configuration with its measured breakdown.
+type Result struct {
+	Config    Config
+	Breakdown Breakdown
+}
+
+// Key renders the identifying columns of a result.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s/%s/p%d/%s", r.Config.App, r.Config.Design, r.Config.Procs, r.Config.Input)
+}
+
+// RunAveraged executes cfg reps times (distinct fault seeds when injection
+// is on, mirroring the paper's five repetitions) and returns the mean
+// breakdown plus the individual results.
+func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	var acc Breakdown
+	var results []Result
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.FaultSeed = cfg.FaultSeed + int64(i)*1009
+		bd, err := Run(c)
+		if err != nil {
+			return Breakdown{}, results, fmt.Errorf("%s rep %d: %w", Result{Config: c}.Key(), i, err)
+		}
+		results = append(results, Result{Config: c, Breakdown: bd})
+		acc.Total += bd.Total
+		acc.App += bd.App
+		acc.Ckpt += bd.Ckpt
+		acc.Recovery += bd.Recovery
+		acc.Recoveries += bd.Recoveries
+		acc.CkptCount += bd.CkptCount
+		acc.CkptBytes += bd.CkptBytes
+		acc.Messages += bd.Messages
+		acc.NetBytes += bd.NetBytes
+	}
+	n := simnet.Time(reps)
+	acc.Total /= n
+	acc.App /= n
+	acc.Ckpt /= n
+	acc.Recovery /= n
+	acc.Signature = results[0].Breakdown.Signature
+	acc.Completed = true
+	return acc, results, nil
+}
+
+// SuiteOptions shapes a figure sweep.
+type SuiteOptions struct {
+	Apps   []string // default: all six
+	Scales []int    // default: Table I scales (filtered per app)
+	Inputs []InputSize
+	Reps   int // default 1 (the paper used 5)
+	Seed   int64
+}
+
+func (o *SuiteOptions) fill() {
+	if len(o.Apps) == 0 {
+		o.Apps = []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}
+	}
+	if len(o.Inputs) == 0 {
+		o.Inputs = InputSizes()
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// FigureConfigs enumerates the run matrix behind one of the paper's
+// figures (5-10). Figures 7 and 10 reuse the runs of 6 and 9.
+func FigureConfigs(fig int, opts SuiteOptions) ([]Config, error) {
+	opts.fill()
+	var out []Config
+	scaleSweep := fig == 5 || fig == 6 || fig == 7
+	fault := fig == 6 || fig == 7 || fig == 9 || fig == 10
+	if fig < 5 || fig > 10 {
+		return nil, fmt.Errorf("core: figure %d is not an evaluation figure (5-10)", fig)
+	}
+	for _, app := range opts.Apps {
+		var scales []int
+		if scaleSweep {
+			scales = ProcCounts(app)
+			if len(opts.Scales) > 0 {
+				scales = intersect(scales, opts.Scales)
+				if app == "LULESH" {
+					scales = filterCubes(scales)
+				}
+			}
+		} else {
+			scales = []int{DefaultProcs}
+			if len(opts.Scales) == 1 {
+				scales = opts.Scales
+			}
+		}
+		inputs := []InputSize{Small}
+		if !scaleSweep {
+			inputs = opts.Inputs
+		}
+		for _, procs := range scales {
+			for _, in := range inputs {
+				for _, d := range Designs() {
+					out = append(out, Config{
+						App:         app,
+						Design:      d,
+						Procs:       procs,
+						Input:       in,
+						InjectFault: fault,
+						FaultSeed:   opts.Seed,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func intersect(a, b []int) []int {
+	set := map[int]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func filterCubes(s []int) []int {
+	var out []int
+	for _, x := range s {
+		for c := 1; c*c*c <= x; c++ {
+			if c*c*c == x {
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// RunFigure executes a figure's run matrix and writes the paper-style
+// table to w. It returns the raw results for further analysis.
+func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
+	cfgs, err := FigureConfigs(fig, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.fill()
+	var results []Result
+	for _, cfg := range cfgs {
+		bd, _, err := RunAveraged(cfg, opts.Reps)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, Result{Config: cfg, Breakdown: bd})
+	}
+	WriteFigure(w, fig, results)
+	return results, nil
+}
+
+var figureTitles = map[int]string{
+	5:  "Execution time breakdown in different scaling sizes, no process failures (Fig. 5)",
+	6:  "Execution time breakdown recovering from a process failure, scaling sizes (Fig. 6)",
+	7:  "Recovery time for different scaling sizes (Fig. 7)",
+	8:  "Execution time breakdown in different input problem sizes, no failures (Fig. 8)",
+	9:  "Execution time breakdown recovering from a process failure, input sizes (Fig. 9)",
+	10: "Recovery time for different input problem sizes (Fig. 10)",
+}
+
+// WriteFigure renders results in the layout of the paper's figure: one
+// block per application, one row per (x-axis value, design).
+func WriteFigure(w io.Writer, fig int, results []Result) {
+	fmt.Fprintf(w, "== %s ==\n", figureTitles[fig])
+	scaleSweep := fig <= 7
+	recoveryOnly := fig == 7 || fig == 10
+	byApp := map[string][]Result{}
+	var apps []string
+	for _, r := range results {
+		if _, ok := byApp[r.Config.App]; !ok {
+			apps = append(apps, r.Config.App)
+		}
+		byApp[r.Config.App] = append(byApp[r.Config.App], r)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		fmt.Fprintf(w, "\n-- %s --\n", app)
+		if recoveryOnly {
+			fmt.Fprintf(w, "%-8s %-12s %10s\n", xLabel(scaleSweep), "design", "recovery(s)")
+		} else {
+			fmt.Fprintf(w, "%-8s %-12s %12s %12s %12s %12s\n",
+				xLabel(scaleSweep), "design", "app(s)", "ckpt(s)", "recovery(s)", "total(s)")
+		}
+		for _, r := range byApp[app] {
+			x := fmt.Sprintf("%d", r.Config.Procs)
+			if !scaleSweep {
+				x = r.Config.Input.String()
+			}
+			bd := r.Breakdown
+			if recoveryOnly {
+				fmt.Fprintf(w, "%-8s %-12s %10.3f\n", x, r.Config.Design, bd.Recovery.Seconds())
+			} else {
+				fmt.Fprintf(w, "%-8s %-12s %12.3f %12.3f %12.3f %12.3f\n",
+					x, r.Config.Design, bd.App.Seconds(), bd.Ckpt.Seconds(),
+					bd.Recovery.Seconds(), bd.Total.Seconds())
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits results as CSV for external plotting.
+func WriteCSV(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "app,design,procs,input,fault,app_s,ckpt_s,recovery_s,total_s,recoveries,messages,net_bytes")
+	for _, r := range results {
+		bd := r.Breakdown
+		fmt.Fprintf(w, "%s,%s,%d,%s,%t,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			r.Config.App, r.Config.Design, r.Config.Procs, r.Config.Input,
+			r.Config.InjectFault, bd.App.Seconds(), bd.Ckpt.Seconds(),
+			bd.Recovery.Seconds(), bd.Total.Seconds(), bd.Recoveries,
+			bd.Messages, bd.NetBytes)
+	}
+}
+
+// WriteTableI renders the paper's Table I along with the reproduction's
+// scaled-down equivalents.
+func WriteTableI(w io.Writer) {
+	fmt.Fprintln(w, "== Table I: experimentation configuration (paper input -> scaled reproduction) ==")
+	fmt.Fprintf(w, "%-10s %-8s %-26s %-28s %-10s %s\n",
+		"app", "input", "paper parameters", "reproduction parameters", "bytes x", "procs")
+	for _, e := range TableI() {
+		repro := describeParams(e)
+		procs := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(e.ProcCounts)), ","), "[]")
+		fmt.Fprintf(w, "%-10s %-8s %-26s %-28s %-10.1f %s\n",
+			e.App, e.Input, e.PaperInput, repro, e.BytesScale, procs)
+	}
+}
+
+func describeParams(e TableIEntry) string {
+	p := e.Params
+	switch {
+	case e.App == "LULESH":
+		return fmt.Sprintf("-s %d, %d steps", p.S, p.MaxIter)
+	case e.App == "miniVite":
+		return fmt.Sprintf("-n %d, %d sweeps", p.NVerts, p.MaxIter)
+	default:
+		return fmt.Sprintf("%dx%dx%d, %d iters", p.NX, p.NY, p.NZ, p.MaxIter)
+	}
+}
+
+func xLabel(scaleSweep bool) string {
+	if scaleSweep {
+		return "procs"
+	}
+	return "input"
+}

@@ -1,0 +1,232 @@
+// Package depanal implements the paper's data-dependency analysis tool
+// (§III-A, Algorithm 1): given a dynamic execution trace, it identifies
+// the data objects that must be checkpointed for the application to resume
+// correctly — and nothing more. The three principles:
+//
+//  1. checkpointable objects are defined/allocated *before* the main
+//     computation loop (loop-local temporaries are excluded);
+//  2. they are used (read or written) *inside* the loop;
+//  3. their values *vary* across loop iterations (constants and read-only
+//     inputs are excluded — they can be rebuilt from initialization).
+//
+// The paper generates traces with LLVM-Tracer; this package defines an
+// equivalent trace format (package depanal/trace events), a Tracer API that
+// instrumented kernels emit through, and the analysis itself.
+package depanal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind discriminates trace records.
+type EventKind int
+
+// Trace record kinds.
+const (
+	EvAlloc EventKind = iota
+	EvLoad
+	EvStore
+	EvLoopBegin
+	EvLoopIter
+	EvLoopEnd
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAlloc:
+		return "ALLOC"
+	case EvLoad:
+		return "LOAD"
+	case EvStore:
+		return "STORE"
+	case EvLoopBegin:
+		return "LOOPBEGIN"
+	case EvLoopIter:
+		return "ITER"
+	case EvLoopEnd:
+		return "LOOPEND"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one dynamic trace record, the equivalent of an LLVM-Tracer
+// instruction entry: location (register name or memory address), observed
+// value, and source line.
+type Event struct {
+	Kind  EventKind
+	Name  string // object name (allocs) or register name
+	Addr  uint64
+	Size  uint64 // allocation size in bytes
+	Value uint64 // observed value bits (loads/stores)
+	Line  int
+	Iter  int // iteration index for ITER events
+}
+
+// Trace is an ordered dynamic execution trace.
+type Trace struct {
+	Events []Event
+}
+
+// Tracer records events; kernels under analysis call its methods at
+// allocation sites, memory accesses, and loop boundaries.
+type Tracer struct {
+	tr   Trace
+	iter int
+	in   bool
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{iter: -1} }
+
+// Alloc records an object definition/allocation.
+func (t *Tracer) Alloc(name string, addr, size uint64, line int) {
+	t.tr.Events = append(t.tr.Events, Event{Kind: EvAlloc, Name: name, Addr: addr, Size: size, Line: line})
+}
+
+// Load records a memory read of value at addr.
+func (t *Tracer) Load(addr, value uint64, line int) {
+	t.tr.Events = append(t.tr.Events, Event{Kind: EvLoad, Addr: addr, Value: value, Line: line})
+}
+
+// Store records a memory write of value to addr.
+func (t *Tracer) Store(addr, value uint64, line int) {
+	t.tr.Events = append(t.tr.Events, Event{Kind: EvStore, Addr: addr, Value: value, Line: line})
+}
+
+// LoopBegin marks the start of the main computation loop.
+func (t *Tracer) LoopBegin(line int) {
+	t.in = true
+	t.tr.Events = append(t.tr.Events, Event{Kind: EvLoopBegin, Line: line})
+}
+
+// NextIter marks the start of loop iteration n.
+func (t *Tracer) NextIter(n int) {
+	t.iter = n
+	t.tr.Events = append(t.tr.Events, Event{Kind: EvLoopIter, Iter: n})
+}
+
+// LoopEnd marks the end of the main computation loop.
+func (t *Tracer) LoopEnd() {
+	t.in = false
+	t.tr.Events = append(t.tr.Events, Event{Kind: EvLoopEnd})
+}
+
+// Trace returns the recorded trace.
+func (t *Tracer) Trace() *Trace { return &t.tr }
+
+// Object is an identified checkpointable data object.
+type Object struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Line int
+	// Locations are the in-loop addresses that matched this object.
+	Locations []uint64
+}
+
+// Result of Algorithm 1.
+type Result struct {
+	// Checkpoint is the minimal set of data objects to protect, sorted by
+	// allocation order.
+	Checkpoint []Object
+	// ExcludedConstant lists in-loop locations filtered by principle 3
+	// (values never varied across iterations).
+	ExcludedConstant int
+	// ExcludedLoopLocal lists in-loop locations with no before-loop
+	// allocation match (principle 1).
+	ExcludedLoopLocal int
+}
+
+// alloc is one before-loop allocation.
+type alloc struct {
+	Object
+	order int
+}
+
+// Analyze runs Algorithm 1 over the trace.
+func Analyze(tr *Trace) Result {
+	// Pass 1 (the "traverse the instruction trace once" of the paper):
+	// gather before-loop allocations and in-loop location accesses with
+	// their per-iteration invocation values.
+	var allocs []alloc
+	type locInfo struct {
+		values map[uint64]bool
+		seen   int
+	}
+	inLoop := map[uint64]*locInfo{}
+	in := false
+	order := 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case EvLoopBegin:
+			in = true
+		case EvLoopEnd:
+			in = false
+		case EvAlloc:
+			if !in {
+				allocs = append(allocs, alloc{Object: Object{Name: e.Name, Addr: e.Addr, Size: e.Size, Line: e.Line}, order: order})
+				order++
+			}
+			// In-loop allocations are loop-local: principle 1 excludes them
+			// by simply not entering the before-loop set.
+		case EvLoad, EvStore:
+			if !in {
+				continue
+			}
+			li := inLoop[e.Addr]
+			if li == nil {
+				li = &locInfo{values: map[uint64]bool{}}
+				inLoop[e.Addr] = li
+			}
+			li.values[e.Value] = true
+			li.seen++
+		}
+	}
+
+	// Check values of locations in Locs_in_loop: keep only locations whose
+	// invocation values are not all the same (principle 3). The map
+	// already de-duplicates both location sets (the algorithm's "remove
+	// repetition" steps).
+	varying := make([]uint64, 0, len(inLoop))
+	constant := 0
+	for addr, li := range inLoop {
+		if len(li.values) > 1 {
+			varying = append(varying, addr)
+		} else {
+			constant++
+		}
+	}
+	sort.Slice(varying, func(i, j int) bool { return varying[i] < varying[j] })
+
+	// Match in-loop locations against before-loop allocations.
+	byObj := map[int][]uint64{}
+	loopLocal := 0
+	for _, addr := range varying {
+		matched := false
+		for i := range allocs {
+			a := &allocs[i]
+			if addr >= a.Addr && addr < a.Addr+a.Size {
+				byObj[i] = append(byObj[i], addr)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			loopLocal++
+		}
+	}
+
+	res := Result{ExcludedConstant: constant, ExcludedLoopLocal: loopLocal}
+	idxs := make([]int, 0, len(byObj))
+	for i := range byObj {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		o := allocs[i].Object
+		o.Locations = byObj[i]
+		res.Checkpoint = append(res.Checkpoint, o)
+	}
+	return res
+}

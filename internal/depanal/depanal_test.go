@@ -1,0 +1,153 @@
+package depanal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// traceCG builds a trace for a miniature CG-like kernel:
+//
+//	x, r, p   — allocated before the loop, read+written, values vary  -> keep
+//	b         — allocated before, read-only with constant values      -> drop (principle 3)
+//	iter      — scalar counter, varies                                -> keep
+//	tmp       — allocated inside the loop                             -> drop (principle 1)
+func traceCG() *Trace {
+	tc := NewTracer()
+	tc.Alloc("x", 1000, 32, 10)
+	tc.Alloc("r", 2000, 32, 11)
+	tc.Alloc("p", 3000, 32, 12)
+	tc.Alloc("b", 4000, 32, 13)
+	tc.Alloc("iter", 5000, 8, 14)
+	tc.LoopBegin(20)
+	for it := 0; it < 3; it++ {
+		tc.NextIter(it)
+		tc.Alloc("tmp", 9000, 32, 21) // loop-local scratch
+		for off := uint64(0); off < 32; off += 8 {
+			tc.Load(4000+off, 77, 22)                     // b: same value every iteration
+			tc.Load(1000+off, uint64(100+it)+off, 23)     // x varies
+			tc.Store(1000+off, uint64(200+it)+off, 24)    //
+			tc.Store(2000+off, uint64(300+it*3)+off, 25)  // r varies
+			tc.Load(3000+off, uint64(400+it*7)+off, 26)   // p varies
+			tc.Store(9000+off, uint64(500+it*11)+off, 27) // tmp varies but is loop-local
+		}
+		tc.Load(5000, uint64(it), 28)
+		tc.Store(5000, uint64(it+1), 28)
+	}
+	tc.LoopEnd()
+	return tc.Trace()
+}
+
+func TestAlgorithm1FindsCGState(t *testing.T) {
+	res := Analyze(traceCG())
+	var names []string
+	for _, o := range res.Checkpoint {
+		names = append(names, o.Name)
+	}
+	want := []string{"x", "r", "p", "iter"}
+	if len(names) != len(want) {
+		t.Fatalf("checkpoint objects = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("checkpoint objects = %v, want %v", names, want)
+		}
+	}
+	if res.ExcludedConstant == 0 {
+		t.Fatal("read-only b was not excluded by principle 3")
+	}
+	if res.ExcludedLoopLocal == 0 {
+		t.Fatal("loop-local tmp was not excluded by principle 1")
+	}
+}
+
+func TestAlgorithm1EmptyLoop(t *testing.T) {
+	tc := NewTracer()
+	tc.Alloc("x", 100, 8, 1)
+	tc.LoopBegin(2)
+	tc.LoopEnd()
+	res := Analyze(tc.Trace())
+	if len(res.Checkpoint) != 0 {
+		t.Fatalf("empty loop produced %v", res.Checkpoint)
+	}
+}
+
+func TestAlgorithm1BeforeLoopOnlyAccess(t *testing.T) {
+	// Accesses before the loop must not mark objects.
+	tc := NewTracer()
+	tc.Alloc("x", 100, 8, 1)
+	tc.Load(100, 1, 2)
+	tc.Store(100, 2, 3)
+	tc.LoopBegin(4)
+	tc.NextIter(0)
+	tc.LoopEnd()
+	res := Analyze(tc.Trace())
+	if len(res.Checkpoint) != 0 {
+		t.Fatalf("pre-loop accesses selected %v", res.Checkpoint)
+	}
+}
+
+func TestTraceFormatRoundTrip(t *testing.T) {
+	tr := traceCG()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("events %d != %d", len(back.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back.Events[i], tr.Events[i])
+		}
+	}
+	// Analysis of the round-tripped trace is identical.
+	a, b := Analyze(tr), Analyze(back)
+	if len(a.Checkpoint) != len(b.Checkpoint) {
+		t.Fatal("round-trip changed the analysis")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("BOGUS addr=1\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	WriteReport(&sb, Analyze(traceCG()))
+	out := sb.String()
+	for _, want := range []string{"x", "iter", "principle 3", "principle 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: objects whose in-loop values are all identical are never
+// selected, regardless of access pattern shape.
+func TestConstantNeverSelected(t *testing.T) {
+	f := func(accesses uint8, iters uint8) bool {
+		tc := NewTracer()
+		tc.Alloc("c", 100, 64, 1)
+		tc.LoopBegin(2)
+		n := int(iters%5) + 1
+		for it := 0; it < n; it++ {
+			tc.NextIter(it)
+			for a := 0; a < int(accesses%10)+1; a++ {
+				tc.Load(100+uint64(a%8)*8, 42, 3) // constant value
+			}
+		}
+		tc.LoopEnd()
+		return len(Analyze(tc.Trace()).Checkpoint) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

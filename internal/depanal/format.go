@@ -1,0 +1,109 @@
+package depanal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTrace serializes a trace in the tool's line format (one event per
+// line, key=value fields), the analog of an LLVM-Tracer dump:
+//
+//	ALLOC name=x addr=4096 size=80 line=12
+//	LOOPBEGIN line=20
+//	ITER n=0
+//	LOAD addr=4096 val=42 line=22
+//	STORE addr=4104 val=7 line=23
+//	LOOPEND
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range tr.Events {
+		var err error
+		switch e.Kind {
+		case EvAlloc:
+			_, err = fmt.Fprintf(bw, "ALLOC name=%s addr=%d size=%d line=%d\n", e.Name, e.Addr, e.Size, e.Line)
+		case EvLoad:
+			_, err = fmt.Fprintf(bw, "LOAD addr=%d val=%d line=%d\n", e.Addr, e.Value, e.Line)
+		case EvStore:
+			_, err = fmt.Fprintf(bw, "STORE addr=%d val=%d line=%d\n", e.Addr, e.Value, e.Line)
+		case EvLoopBegin:
+			_, err = fmt.Fprintf(bw, "LOOPBEGIN line=%d\n", e.Line)
+		case EvLoopIter:
+			_, err = fmt.Fprintf(bw, "ITER n=%d\n", e.Iter)
+		case EvLoopEnd:
+			_, err = fmt.Fprintln(bw, "LOOPEND")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the line format back into a trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		kv := map[string]string{}
+		for _, f := range fields[1:] {
+			if i := strings.IndexByte(f, '='); i > 0 {
+				kv[f[:i]] = f[i+1:]
+			}
+		}
+		get := func(k string) uint64 {
+			v, _ := strconv.ParseUint(kv[k], 10, 64)
+			return v
+		}
+		geti := func(k string) int {
+			v, _ := strconv.Atoi(kv[k])
+			return v
+		}
+		var e Event
+		switch fields[0] {
+		case "ALLOC":
+			e = Event{Kind: EvAlloc, Name: kv["name"], Addr: get("addr"), Size: get("size"), Line: geti("line")}
+		case "LOAD":
+			e = Event{Kind: EvLoad, Addr: get("addr"), Value: get("val"), Line: geti("line")}
+		case "STORE":
+			e = Event{Kind: EvStore, Addr: get("addr"), Value: get("val"), Line: geti("line")}
+		case "LOOPBEGIN":
+			e = Event{Kind: EvLoopBegin, Line: geti("line")}
+		case "ITER":
+			e = Event{Kind: EvLoopIter, Iter: geti("n")}
+		case "LOOPEND":
+			e = Event{Kind: EvLoopEnd}
+		default:
+			return nil, fmt.Errorf("depanal: line %d: unknown record %q", lineNo, fields[0])
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// WriteReport renders an analysis result for humans.
+func WriteReport(w io.Writer, res Result) {
+	fmt.Fprintln(w, "== Data objects to checkpoint (Algorithm 1) ==")
+	if len(res.Checkpoint) == 0 {
+		fmt.Fprintln(w, "(none found)")
+	}
+	for _, o := range res.Checkpoint {
+		fmt.Fprintf(w, "  %-16s addr=%-8d size=%-8d line=%-5d (%d in-loop locations)\n",
+			o.Name, o.Addr, o.Size, o.Line, len(o.Locations))
+	}
+	fmt.Fprintf(w, "excluded: %d constant-valued locations (principle 3), %d loop-local locations (principle 1)\n",
+		res.ExcludedConstant, res.ExcludedLoopLocal)
+}

@@ -1,0 +1,101 @@
+// Package fault emulates MPI process and node failures by fault injection,
+// following the paper's Figure 4: a SIGTERM-style kill of one randomly
+// selected rank at one randomly selected iteration of the main computation
+// loop. The selection is seeded so every fault-tolerance design sees the
+// identical failure, which is what makes the designs comparable.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"match/internal/mpi"
+)
+
+// Kind selects what fails.
+type Kind int
+
+const (
+	// ProcessFailure kills a single MPI process (the paper's experiments).
+	ProcessFailure Kind = iota
+	// NodeFailure kills a whole node and every process on it.
+	NodeFailure
+)
+
+func (k Kind) String() string {
+	if k == NodeFailure {
+		return "node"
+	}
+	return "process"
+}
+
+// Plan describes one injected failure.
+type Plan struct {
+	Enabled    bool
+	Kind       Kind
+	TargetRank int
+	TargetIter int
+}
+
+// NewPlan draws a random (rank, iteration) target, like the paper's
+// SelectedRank/SelectedIter. maxIter should be the application's main-loop
+// trip count; the iteration is drawn from its middle 80% so the failure
+// lands mid-execution rather than trivially at the start or end.
+func NewPlan(seed int64, nranks, maxIter int, kind Kind) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	lo := maxIter / 10
+	hi := maxIter - maxIter/10
+	if hi <= lo {
+		lo, hi = 0, maxIter
+	}
+	iter := lo
+	if hi > lo {
+		iter = lo + rng.Intn(hi-lo)
+	}
+	return Plan{
+		Enabled:    true,
+		Kind:       kind,
+		TargetRank: rng.Intn(nranks),
+		TargetIter: iter,
+	}
+}
+
+// Injector fires a Plan at most once per run, shared by all ranks of a job
+// (and across restarts of the job, so the failure happens exactly once).
+type Injector struct {
+	Plan  Plan
+	Log   io.Writer // optional: receives the paper's "KILL rank %d" line
+	fired bool
+}
+
+// NewInjector wraps a plan.
+func NewInjector(p Plan) *Injector { return &Injector{Plan: p} }
+
+// Fired reports whether the failure has been injected.
+func (in *Injector) Fired() bool { return in != nil && in.fired }
+
+// MaybeFail is called by every rank at the top of every main-loop
+// iteration (the paper's Figure 4 check). When the calling rank and
+// iteration match the plan, the rank fail-stops. For NodeFailure the whole
+// node goes down with it.
+func (in *Injector) MaybeFail(r *mpi.Rank, comm *mpi.Comm, iter int) {
+	if in == nil || !in.Plan.Enabled || in.fired {
+		return
+	}
+	if iter != in.Plan.TargetIter || r.Rank(comm) != in.Plan.TargetRank {
+		return
+	}
+	in.fired = true
+	if in.Log != nil {
+		fmt.Fprintf(in.Log, "KILL rank %d\n", r.Rank(comm))
+	}
+	if in.Plan.Kind == NodeFailure {
+		node := r.Process().NodeID()
+		cl := r.Job().Cluster()
+		// The node takes down its other residents via a scheduler event;
+		// this rank dies immediately.
+		cl.Scheduler().After(0, func() { cl.FailNode(node) })
+	}
+	r.Die()
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+func TestNewPlanDeterministic(t *testing.T) {
+	a := NewPlan(42, 64, 100, ProcessFailure)
+	b := NewPlan(42, 64, 100, ProcessFailure)
+	if a != b {
+		t.Fatalf("same seed gave different plans: %+v vs %+v", a, b)
+	}
+	c := NewPlan(43, 64, 100, ProcessFailure)
+	if a == c {
+		t.Fatalf("different seeds gave identical plans (suspicious): %+v", a)
+	}
+}
+
+func TestNewPlanBounds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := NewPlan(seed, 16, 100, ProcessFailure)
+		if p.TargetRank < 0 || p.TargetRank >= 16 {
+			t.Fatalf("rank %d out of range", p.TargetRank)
+		}
+		if p.TargetIter < 10 || p.TargetIter >= 90 {
+			t.Fatalf("iter %d outside middle 80%%", p.TargetIter)
+		}
+	}
+	// Tiny loops fall back to the whole range.
+	p := NewPlan(1, 4, 1, ProcessFailure)
+	if p.TargetIter != 0 {
+		t.Fatalf("iter %d for 1-iteration loop", p.TargetIter)
+	}
+}
+
+func TestInjectorKillsExactlyOnce(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	var log strings.Builder
+	in := NewInjector(Plan{Enabled: true, TargetRank: 1, TargetIter: 3})
+	in.Log = &log
+	iterSeen := make([]int, 4)
+	j := mpi.Launch(c, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		for it := 0; it < 6; it++ {
+			in.MaybeFail(r, w, it)
+			iterSeen[r.Rank(w)] = it
+			r.Sim().Sleep(simnet.Millisecond)
+		}
+	})
+	c.Run()
+	if !in.Fired() {
+		t.Fatal("injector never fired")
+	}
+	if iterSeen[1] != 2 {
+		t.Fatalf("rank 1 last completed iter %d, want 2 (killed at 3)", iterSeen[1])
+	}
+	for _, r := range []int{0, 2, 3} {
+		if iterSeen[r] != 5 {
+			t.Fatalf("rank %d did not finish (%d)", r, iterSeen[r])
+		}
+	}
+	if !j.World().Member(1).Failed() {
+		t.Fatal("rank 1 not marked failed")
+	}
+	if !strings.Contains(log.String(), "KILL rank 1") {
+		t.Fatalf("missing kill log, got %q", log.String())
+	}
+	// Replay the iteration (as recovery does): must not fire again.
+	survived := false
+	c.StartProc(0, 0, func(sp *simnet.Proc) {
+		r := mpi.Bind(j, j.World().Member(1), sp)
+		_ = r
+		survived = true
+	})
+	c.Run()
+	if !survived {
+		t.Fatal("post-fire rank did not run")
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 1})
+	in := NewInjector(Plan{Enabled: false, TargetRank: 0, TargetIter: 0})
+	finished := false
+	mpi.Launch(c, 1, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		in.MaybeFail(r, w, 0)
+		finished = true
+	})
+	c.Run()
+	if !finished {
+		t.Fatal("disabled injector killed the rank")
+	}
+}
+
+func TestNodeFailureKillsCoResidents(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	in := NewInjector(Plan{Enabled: true, Kind: NodeFailure, TargetRank: 0, TargetIter: 1})
+	finished := make([]bool, 4)
+	j := mpi.Launch(c, 4, 0, func(r *mpi.Rank) { // ranks 0,1 on node 0
+		w := r.Job().World()
+		for it := 0; it < 3; it++ {
+			in.MaybeFail(r, w, it)
+			r.Sim().Sleep(simnet.Millisecond)
+		}
+		finished[r.Rank(w)] = true
+	})
+	c.Run()
+	_ = j
+	if c.Node(0).Alive() {
+		t.Fatal("node 0 still alive")
+	}
+	if finished[0] || finished[1] {
+		t.Fatal("ranks on the failed node finished")
+	}
+	if !finished[2] || !finished[3] {
+		t.Fatal("ranks on the surviving node did not finish")
+	}
+}

@@ -1,0 +1,450 @@
+// Package fti reimplements the Fault Tolerance Interface (FTI,
+// Bautista-Gomez et al., SC'11): application-level, multi-level
+// checkpointing with the API the paper's Figure 1 uses —
+// Init / Protect / Status / Checkpoint / Recover / Finalize.
+//
+// Levels:
+//
+//	L1  node-local RAMFS (/dev/shm), the mode the paper benchmarks
+//	L2  L1 plus a copy on a partner node
+//	L3  Reed–Solomon erasure encoding across a group of ranks
+//	L4  flush to the parallel file system, with differential writes
+//
+// A checkpoint is committed by a small collective (all ranks agree the
+// checkpoint id is complete) before metadata is updated — the collective
+// the paper observes making L1 checkpoint time grow modestly with scale.
+package fti
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"match/internal/enc"
+	"match/internal/mpi"
+	"match/internal/simnet"
+	"match/internal/storage"
+)
+
+// Level selects the checkpointing level.
+type Level int
+
+// Checkpoint levels, mirroring FTI.
+const (
+	L1 Level = 1 + iota
+	L2
+	L3
+	L4
+)
+
+func (l Level) String() string { return fmt.Sprintf("L%d", int(l)) }
+
+// Status reports whether the execution is fresh or a restart, like
+// FTI_Status() in Figure 1 of the paper.
+type Status int
+
+const (
+	// StatusFresh means no committed checkpoint exists: first execution.
+	StatusFresh Status = 0
+	// StatusRestart means a committed checkpoint exists and Recover will
+	// restore it.
+	StatusRestart Status = 1
+)
+
+// Config configures an FTI instance.
+type Config struct {
+	// Level is the checkpointing level (default L1, as in the paper).
+	Level Level
+	// ExecID identifies the logical execution across job restarts; FTI
+	// metadata and checkpoint files are keyed by it.
+	ExecID string
+	// GroupSize is the L3 erasure-coding group size (default 4).
+	GroupSize int
+	// BlockSize is the L4 differential-checkpointing block size
+	// (default 64 KiB).
+	BlockSize int
+	// SerializeBWBps models in-memory serialization speed (default 8 GB/s).
+	SerializeBWBps float64
+	// BytesScale multiplies checkpoint sizes for time accounting only,
+	// matching the harness's scaled-down-problem model (DESIGN.md §6).
+	BytesScale float64
+	// CkptOverhead is the fixed per-checkpoint cost besides raw data
+	// movement: FTI's integrity checksums, metadata files, directory
+	// management, and buffered-I/O copies (default 100 ms, matching the
+	// per-checkpoint costs visible in the paper's breakdowns).
+	CkptOverhead simnet.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.Level == 0 {
+		c.Level = L1
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 4
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.SerializeBWBps == 0 {
+		c.SerializeBWBps = 8e9
+	}
+	if c.CkptOverhead == 0 {
+		c.CkptOverhead = 100 * simnet.Millisecond
+	}
+}
+
+// Protected is a checkpointable data object, registered with Protect.
+// Snapshot serializes the current value; Restore overwrites it.
+type Protected interface {
+	Snapshot() []byte
+	Restore([]byte)
+}
+
+// Stats aggregates per-rank FTI timing, consumed by the harness for the
+// paper's "Write Checkpoints" breakdown component.
+type Stats struct {
+	CkptTime    simnet.Time // total time inside Checkpoint
+	CkptCount   int
+	CkptBytes   int64
+	RecoverTime simnet.Time // total time inside Recover (reading + restoring)
+	RecoverOps  int
+}
+
+// FTI is a per-rank checkpointing instance.
+type FTI struct {
+	cfg    Config
+	r      *mpi.Rank
+	comm   *mpi.Comm
+	st     *storage.System
+	rank   int
+	node   int
+	objs   []protEntry
+	status Status
+	latest int64 // latest committed checkpoint id, -1 if none
+	// origNodes is the rank-to-node placement of the first incarnation of
+	// this ExecID, persisted to the PFS like FTI's topology metadata; L2
+	// partner locations are derived from it so that recovery finds partner
+	// copies even when a rank has been respawned on a different node.
+	origNodes []int
+	Stats     Stats
+}
+
+type protEntry struct {
+	id  int
+	obj Protected
+}
+
+// ErrNoCheckpoint is returned by Recover when no committed checkpoint
+// exists.
+var ErrNoCheckpoint = errors.New("fti: no committed checkpoint")
+
+// Init creates an FTI instance bound to comm, like FTI_Init(config, comm).
+// It probes storage for committed checkpoints from a previous incarnation
+// of the same ExecID and agrees the restart status collectively, so every
+// rank sees the same Status.
+func Init(cfg Config, r *mpi.Rank, comm *mpi.Comm, st *storage.System) (*FTI, error) {
+	cfg.fillDefaults()
+	f := &FTI{
+		cfg:    cfg,
+		r:      r,
+		comm:   comm,
+		st:     st,
+		rank:   r.Rank(comm),
+		node:   r.Process().NodeID(),
+		latest: -1,
+	}
+	f.loadTopology()
+	mine := f.readMeta()
+	// Agree on the newest checkpoint id every rank can restore.
+	agreed, err := mpi.AllreduceI64Scalar(r, comm, mine, mpi.OpMin)
+	if err != nil {
+		return nil, fmt.Errorf("fti: init agreement: %w", err)
+	}
+	if agreed >= 0 {
+		f.latest = agreed
+		f.status = StatusRestart
+	}
+	return f, nil
+}
+
+// loadTopology reads (or, on the first incarnation, records) the original
+// rank-to-node placement.
+func (f *FTI) loadTopology() {
+	topoPath := fmt.Sprintf("fti/%s/topology", f.cfg.ExecID)
+	if b, err := f.st.Read(f.r.Sim(), storage.PFS, f.node, topoPath); err == nil {
+		vals := enc.BytesToInt64s(b)
+		f.origNodes = make([]int, len(vals))
+		for i, v := range vals {
+			f.origNodes[i] = int(v)
+		}
+		return
+	}
+	f.origNodes = make([]int, f.comm.Size())
+	for i, m := range f.comm.Members() {
+		f.origNodes[i] = m.NodeID()
+	}
+	if f.rank == 0 {
+		vals := make([]int64, len(f.origNodes))
+		for i, n := range f.origNodes {
+			vals[i] = int64(n)
+		}
+		if err := f.st.Write(f.r.Sim(), storage.PFS, f.node, topoPath, enc.Int64sToBytes(vals)); err != nil {
+			// PFS writes only fail if the simulation is misconfigured;
+			// surface loudly rather than silently losing topology.
+			panic(fmt.Sprintf("fti: writing topology: %v", err))
+		}
+	}
+}
+
+// Protect registers a data object for checkpointing, like FTI_Protect(id).
+// Objects are serialized and restored in ascending id order. Re-registering
+// an id replaces the object (which happens naturally on re-initialization
+// after recovery).
+func (f *FTI) Protect(id int, obj Protected) {
+	for i := range f.objs {
+		if f.objs[i].id == id {
+			f.objs[i].obj = obj
+			return
+		}
+	}
+	f.objs = append(f.objs, protEntry{id, obj})
+	sort.Slice(f.objs, func(i, j int) bool { return f.objs[i].id < f.objs[j].id })
+}
+
+// Status reports whether this execution is a restart, like FTI_Status().
+func (f *FTI) Status() Status { return f.status }
+
+// LatestCheckpoint returns the id of the newest committed checkpoint, or -1.
+func (f *FTI) LatestCheckpoint() int64 { return f.latest }
+
+// Comm returns the communicator FTI is operating on.
+func (f *FTI) Comm() *mpi.Comm { return f.comm }
+
+func (f *FTI) base() string {
+	return fmt.Sprintf("fti/%s/r%05d/", f.cfg.ExecID, f.rank)
+}
+
+func (f *FTI) ckptPath(id int64) string { return fmt.Sprintf("%sckpt%d", f.base(), id) }
+func (f *FTI) metaPath() string         { return f.base() + "meta" }
+func (f *FTI) partnerPath(id int64) string {
+	return fmt.Sprintf("%spartner-ckpt%d", f.base(), id)
+}
+func (f *FTI) parityPath(id int64) string { return fmt.Sprintf("%sparity%d", f.base(), id) }
+func (f *FTI) hashPath() string           { return f.base() + "blockhashes" }
+
+// tier returns the storage tier checkpoint payloads live in for the level.
+func (f *FTI) tier() storage.Tier {
+	if f.cfg.Level == L4 {
+		return storage.PFS
+	}
+	return storage.RAMFS
+}
+
+// partnerNode returns the node holding this rank's L2 partner copies: the
+// original node of the next rank (in communicator order) living on a
+// different original node, so a single node failure never destroys both
+// copies. Derived from the persisted topology, so a restarted or respawned
+// rank finds its copies regardless of where it now runs.
+func (f *FTI) partnerNode() int {
+	size := len(f.origNodes)
+	mine := f.origNodes[f.rank]
+	for k := 1; k < size; k++ {
+		cand := f.origNodes[(f.rank+k)%size]
+		if cand != mine {
+			return cand
+		}
+	}
+	return f.node // single-node job: no real protection possible
+}
+
+// readMeta returns the committed checkpoint id recorded for this rank, or
+// -1. For L2 the partner's copy of the metadata is consulted when the local
+// one is unavailable (e.g. the node rebooted).
+func (f *FTI) readMeta() int64 {
+	sp := f.r.Sim()
+	if b, err := f.st.Read(sp, f.tier(), f.node, f.metaPath()); err == nil && len(b) == 8 {
+		return enc.Int64(b)
+	}
+	if f.cfg.Level == L2 {
+		if b, err := f.st.ReadRemote(sp, storage.RAMFS, f.partnerNode(), f.node, "p/"+f.metaPath()); err == nil && len(b) == 8 {
+			return enc.Int64(b)
+		}
+	}
+	return -1
+}
+
+func (f *FTI) writeMeta(id int64) error {
+	sp := f.r.Sim()
+	b := enc.AppendInt64(nil, id)
+	if err := f.st.Write(sp, f.tier(), f.node, f.metaPath(), b); err != nil {
+		return err
+	}
+	if f.cfg.Level == L2 {
+		return f.st.WriteRemote(sp, storage.RAMFS, f.node, f.partnerNode(), "p/"+f.metaPath(), b)
+	}
+	return nil
+}
+
+func (f *FTI) scaledLen(n int) float64 {
+	b := float64(n)
+	if f.cfg.BytesScale > 1 {
+		b *= f.cfg.BytesScale
+	}
+	return b
+}
+
+// serialize snapshots all protected objects into one payload and charges
+// the serialization CPU time.
+func (f *FTI) serialize() []byte {
+	out := enc.AppendUint64(nil, uint64(len(f.objs)))
+	for _, e := range f.objs {
+		snap := e.obj.Snapshot()
+		out = enc.AppendUint64(out, uint64(e.id))
+		out = enc.AppendBytes(out, snap)
+	}
+	f.r.Compute(simnet.Time(f.scaledLen(len(out)) / f.cfg.SerializeBWBps * 1e9))
+	return out
+}
+
+// deserialize restores all protected objects from a payload (charging the
+// same CPU model as serialization).
+func (f *FTI) deserialize(b []byte) error {
+	f.r.Compute(simnet.Time(f.scaledLen(len(b)) / f.cfg.SerializeBWBps * 1e9))
+	n := enc.Uint64(b)
+	rest := b[8:]
+	byID := make(map[int]Protected, len(f.objs))
+	for _, e := range f.objs {
+		byID[e.id] = e.obj
+	}
+	for i := uint64(0); i < n; i++ {
+		id := int(enc.Uint64(rest))
+		rest = rest[8:]
+		var payload []byte
+		payload, rest = enc.NextBytes(rest)
+		obj, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("fti: checkpoint contains unprotected object id %d", id)
+		}
+		obj.Restore(payload)
+	}
+	return nil
+}
+
+// Checkpoint writes a checkpoint identified by id (the application
+// typically passes its iteration number), like FTI_Checkpoint(id, level).
+// The checkpoint becomes visible to recovery only after every rank's write
+// has completed (collective commit). Older checkpoints are garbage-
+// collected after the commit.
+func (f *FTI) Checkpoint(id int64) error {
+	start := f.r.Now()
+	defer func() {
+		f.Stats.CkptTime += f.r.Now() - start
+		f.Stats.CkptCount++
+	}()
+	payload := f.serialize()
+	f.Stats.CkptBytes += int64(len(payload))
+	f.r.Compute(f.cfg.CkptOverhead)
+
+	var err error
+	switch f.cfg.Level {
+	case L1:
+		err = f.writeL1(id, payload)
+	case L2:
+		err = f.writeL2(id, payload)
+	case L3:
+		err = f.writeL3(id, payload)
+	case L4:
+		err = f.writeL4(id, payload)
+	default:
+		err = fmt.Errorf("fti: unknown level %v", f.cfg.Level)
+	}
+	if err != nil {
+		return err
+	}
+	// Commit: all ranks must have completed the same checkpoint id before
+	// metadata advances; this is the collective that makes L1 checkpoint
+	// cost grow modestly with scale (§V-C of the paper).
+	agreed, err := mpi.AllreduceI64Scalar(f.r, f.comm, id, mpi.OpMin)
+	if err != nil {
+		return fmt.Errorf("fti: checkpoint commit: %w", err)
+	}
+	if agreed != id {
+		return fmt.Errorf("fti: commit mismatch: agreed=%d id=%d", agreed, id)
+	}
+	prev := f.latest
+	f.latest = id
+	f.status = StatusFresh // a fresh checkpoint supersedes restart state
+	if err := f.writeMeta(id); err != nil {
+		return err
+	}
+	if prev >= 0 && prev != id {
+		f.gc(prev)
+	}
+	return nil
+}
+
+// gc removes the files of an old checkpoint.
+func (f *FTI) gc(id int64) {
+	f.st.Delete(f.tier(), f.node, f.ckptPath(id))
+	if f.cfg.Level == L2 {
+		f.st.Delete(storage.RAMFS, f.partnerNode(), "p/"+f.partnerPath(id))
+	}
+	if f.cfg.Level == L3 {
+		f.st.Delete(storage.RAMFS, f.node, f.parityPath(id))
+	}
+}
+
+// Recover restores all protected objects from the newest committed
+// checkpoint, like FTI_Recover(). The caller must have registered the same
+// protected ids as when the checkpoint was written.
+func (f *FTI) Recover() error {
+	start := f.r.Now()
+	defer func() {
+		f.Stats.RecoverTime += f.r.Now() - start
+		f.Stats.RecoverOps++
+	}()
+	if f.latest < 0 {
+		return ErrNoCheckpoint
+	}
+	var payload []byte
+	var err error
+	switch f.cfg.Level {
+	case L1:
+		payload, err = f.st.Read(f.r.Sim(), storage.RAMFS, f.node, f.ckptPath(f.latest))
+	case L2:
+		payload, err = f.readL2(f.latest)
+	case L3:
+		payload, err = f.readL3(f.latest)
+	case L4:
+		payload, err = f.st.Read(f.r.Sim(), storage.PFS, f.node, f.ckptPath(f.latest))
+	}
+	if err != nil {
+		return fmt.Errorf("fti: recover %v ckpt %d: %w", f.cfg.Level, f.latest, err)
+	}
+	if err := f.deserialize(payload); err != nil {
+		return err
+	}
+	f.status = StatusFresh
+	return nil
+}
+
+// Finalize flushes nothing (checkpoints are already durable at their level)
+// and keeps files for post-mortem tooling, mirroring FTI_Finalize()'s
+// behavior of leaving the last checkpoint on disk.
+func (f *FTI) Finalize() error { return nil }
+
+func hashBlocks(b []byte, blockSize int) []uint64 {
+	n := (len(b) + blockSize - 1) / blockSize
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		end := (i + 1) * blockSize
+		if end > len(b) {
+			end = len(b)
+		}
+		h := fnv.New64a()
+		h.Write(b[i*blockSize : end])
+		out[i] = h.Sum64()
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+package fti
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+	"match/internal/storage"
+)
+
+// harness runs an n-rank job where each rank executes body with a ready
+// storage system.
+func harness(t *testing.T, n int, body func(r *mpi.Rank, st *storage.System)) {
+	t.Helper()
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	j := mpi.Launch(c, n, 0, func(r *mpi.Rank) { body(r, st) })
+	c.Run()
+	for i, p := range j.World().Members() {
+		if !p.Failed() && p.GID() >= 0 {
+			_ = i
+		}
+	}
+}
+
+func TestProtectHelpersRoundTrip(t *testing.T) {
+	fs := []float64{1.5, -2.25, 3e30}
+	is := []int64{-1, 2, 1 << 60}
+	ints := []int{4, -5}
+	iv := 42
+	fv := 2.75
+	bs := []byte{9, 8, 7}
+
+	objs := []Protected{
+		F64s{&fs}, I64s{&is}, Ints{&ints}, Int{&iv}, F64{&fv}, Bytes{&bs},
+	}
+	snaps := make([][]byte, len(objs))
+	for i, o := range objs {
+		snaps[i] = o.Snapshot()
+	}
+	fs[0], is[0], ints[0], iv, fv, bs[0] = 0, 0, 0, 0, 0, 0
+	for i, o := range objs {
+		o.Restore(snaps[i])
+	}
+	if fs[0] != 1.5 || is[0] != -1 || ints[0] != 4 || iv != 42 || fv != 2.75 || bs[0] != 9 {
+		t.Fatalf("restore mismatch: %v %v %v %v %v %v", fs, is, ints, iv, fv, bs)
+	}
+}
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	for _, level := range []Level{L1, L2, L3, L4} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			results := make([][]float64, 4)
+			harness(t, 4, func(r *mpi.Rank, st *storage.System) {
+				w := r.Job().World()
+				me := r.Rank(w)
+				cfg := Config{Level: level, ExecID: "rt-" + level.String(), GroupSize: 2}
+				f, err := Init(cfg, r, w, st)
+				if err != nil {
+					t.Errorf("init: %v", err)
+					return
+				}
+				data := []float64{float64(me), float64(me) * 10}
+				iter := 7
+				f.Protect(0, F64s{&data})
+				f.Protect(1, Int{&iter})
+				if f.Status() != StatusFresh {
+					t.Errorf("fresh run has status %v", f.Status())
+				}
+				if err := f.Checkpoint(7); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+				// Clobber state, then recover.
+				data = nil
+				iter = -1
+				f2, err := Init(cfg, r, w, st)
+				if err != nil {
+					t.Errorf("re-init: %v", err)
+					return
+				}
+				f2.Protect(0, F64s{&data})
+				f2.Protect(1, Int{&iter})
+				if f2.Status() != StatusRestart {
+					t.Errorf("status after ckpt = %v, want restart", f2.Status())
+				}
+				if err := f2.Recover(); err != nil {
+					t.Errorf("recover: %v", err)
+					return
+				}
+				if iter != 7 {
+					t.Errorf("iter = %d, want 7", iter)
+				}
+				results[me] = data
+			})
+			for me, d := range results {
+				if len(d) != 2 || d[0] != float64(me) || d[1] != float64(me)*10 {
+					t.Fatalf("rank %d recovered %v", me, d)
+				}
+			}
+		})
+	}
+}
+
+func TestRecoverWithoutCheckpointFails(t *testing.T) {
+	harness(t, 2, func(r *mpi.Rank, st *storage.System) {
+		w := r.Job().World()
+		f, err := Init(Config{ExecID: "none"}, r, w, st)
+		if err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		if err := f.Recover(); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("recover = %v, want ErrNoCheckpoint", err)
+		}
+	})
+}
+
+func TestOldCheckpointGarbageCollected(t *testing.T) {
+	harness(t, 2, func(r *mpi.Rank, st *storage.System) {
+		w := r.Job().World()
+		f, _ := Init(Config{ExecID: "gc"}, r, w, st)
+		x := 1
+		f.Protect(0, Int{&x})
+		f.Checkpoint(10)
+		p10 := f.ckptPath(10)
+		f.Checkpoint(20)
+		if st.Exists(storage.RAMFS, r.Process().NodeID(), p10) {
+			t.Error("checkpoint 10 not garbage-collected")
+		}
+		if !st.Exists(storage.RAMFS, r.Process().NodeID(), f.ckptPath(20)) {
+			t.Error("checkpoint 20 missing")
+		}
+		if f.LatestCheckpoint() != 20 {
+			t.Errorf("latest = %d", f.LatestCheckpoint())
+		}
+	})
+}
+
+// L1 checkpoints must survive a process failure (files live on the node),
+// which is exactly what the paper's process-failure experiments rely on.
+func TestL1SurvivesProcessButNotNodeFailure(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	st := storage.New(c, storage.Config{})
+	var ckptNode int
+	j := mpi.Launch(c, 2, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{ExecID: "surv"}, r, w, st)
+		x := r.Rank(w)
+		f.Protect(0, Int{&x})
+		f.Checkpoint(1)
+		if r.Rank(w) == 0 {
+			ckptNode = r.Process().NodeID()
+		}
+	})
+	c.Run()
+	_ = j
+	path := "fti/surv/r00000/ckpt1"
+	if !st.Exists(storage.RAMFS, ckptNode, path) {
+		t.Fatal("checkpoint missing after process exit")
+	}
+	c.FailNode(ckptNode)
+	if st.Exists(storage.RAMFS, ckptNode, path) {
+		t.Fatal("RAMFS checkpoint readable on a dead node")
+	}
+}
+
+// L2 recovery must work when the original node is down, via the partner.
+func TestL2RecoversFromPartnerAfterNodeFailure(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	// Phase 1: write checkpoints.
+	j1 := mpi.Launch(c, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{Level: L2, ExecID: "l2nf"}, r, w, st)
+		x := 100 + r.Rank(w)
+		f.Protect(0, Int{&x})
+		if err := f.Checkpoint(5); err != nil {
+			t.Errorf("ckpt: %v", err)
+		}
+	})
+	c.Run()
+	_ = j1
+	// Node 0 dies (hosting rank 0). Relaunch the job with rank 0 relocated
+	// to node 1: recovery must find rank 0's state via the partner copy.
+	c.FailNode(0)
+	recovered := make([]int, 4)
+	j2 := mpi.LaunchPlaced(c, []int{1, 1, 2, 3}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		f, err := Init(Config{Level: L2, ExecID: "l2nf"}, r, w, st)
+		if err != nil {
+			t.Errorf("rank %d re-init: %v", me, err)
+			return
+		}
+		if f.Status() != StatusRestart {
+			t.Errorf("rank %d status %v, want restart", me, f.Status())
+			return
+		}
+		x := -1
+		f.Protect(0, Int{&x})
+		if err := f.Recover(); err != nil {
+			t.Errorf("rank %d recover: %v", me, err)
+			return
+		}
+		recovered[me] = x
+	})
+	_ = j2
+	c.Run()
+	for me, x := range recovered {
+		if x != 100+me {
+			t.Fatalf("rank %d recovered %d, want %d", me, x, 100+me)
+		}
+	}
+}
+
+// L3: erase the local checkpoints of half of each group; Reed-Solomon
+// reconstruction must restore them through the group exchange.
+func TestL3ReconstructsLostShard(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	var paths []string
+	var nodes []int
+	phase := 0
+	body := func(r *mpi.Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		cfg := Config{Level: L3, ExecID: "l3", GroupSize: 4}
+		f, err := Init(cfg, r, w, st)
+		if err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		data := []float64{float64(me) * 1.5, 99}
+		f.Protect(0, F64s{&data})
+		if phase == 0 {
+			if err := f.Checkpoint(3); err != nil {
+				t.Errorf("ckpt: %v", err)
+			}
+			if me < 2 { // record what to erase: ranks 0 and 1's local copies
+				paths = append(paths, f.ckptPath(3))
+				nodes = append(nodes, r.Process().NodeID())
+			}
+			return
+		}
+		// phase 1: recover
+		data = nil
+		if f.Status() != StatusRestart {
+			t.Errorf("rank %d status %v", me, f.Status())
+			return
+		}
+		if err := f.Recover(); err != nil {
+			t.Errorf("rank %d recover: %v", me, err)
+			return
+		}
+		if len(data) != 2 || data[0] != float64(me)*1.5 {
+			t.Errorf("rank %d recovered %v", me, data)
+		}
+	}
+	j := mpi.Launch(c, 4, 0, body)
+	c.Run()
+	_ = j
+	// Erase two of the four data shards (half the group).
+	for i, p := range paths {
+		st.Delete(storage.RAMFS, nodes[i], p)
+	}
+	phase = 1
+	j2 := mpi.Launch(c, 4, 0, body)
+	c.Run()
+	_ = j2
+}
+
+// L4 differential checkpointing: an unchanged payload must cost far less
+// PFS time than the first full write. Uses a slow-PFS, fast-everything-else
+// configuration so bandwidth (not per-op latency or serialization)
+// dominates, making the differential saving observable.
+func TestL4DifferentialCheaper(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	st := storage.New(c, storage.Config{PFSBWBps: 1e9, PFSLat: simnet.Microsecond})
+	j := mpi.Launch(c, 1, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		cfg := Config{Level: L4, ExecID: "l4diff", SerializeBWBps: 1e15,
+			CkptOverhead: simnet.Nanosecond}
+		f, _ := Init(cfg, r, w, st)
+		data := make([]float64, 1<<20) // 8 MiB -> 8 ms at 1 GB/s
+		for i := range data {
+			data[i] = float64(i)
+		}
+		f.Protect(0, F64s{&data})
+		t0 := r.Now()
+		f.Checkpoint(1)
+		full := r.Now() - t0
+		t1 := r.Now()
+		f.Checkpoint(2) // nothing changed
+		diff := r.Now() - t1
+		if diff*4 > full {
+			t.Errorf("differential ckpt %v not ≪ full ckpt %v", diff, full)
+		}
+		// Change one block: cost should sit between.
+		data[0] = -1
+		t2 := r.Now()
+		f.Checkpoint(3)
+		one := r.Now() - t2
+		if one <= diff || one >= full {
+			t.Errorf("one-block ckpt %v, want between %v and %v", one, diff, full)
+		}
+		// And recovery restores the latest content.
+		data = nil
+		f2, _ := Init(cfg, r, w, st)
+		f2.Protect(0, F64s{&data})
+		if err := f2.Recover(); err != nil {
+			t.Errorf("recover: %v", err)
+			return
+		}
+		if data[0] != -1 || data[1] != 1 {
+			t.Errorf("recovered data wrong: %v...", data[:2])
+		}
+	})
+	_ = j
+	c.Run()
+}
+
+func TestCheckpointTimeGrowsWithData(t *testing.T) {
+	harness(t, 2, func(r *mpi.Rank, st *storage.System) {
+		w := r.Job().World()
+		f, _ := Init(Config{ExecID: "scale"}, r, w, st)
+		small := make([]float64, 1024)
+		f.Protect(0, F64s{&small})
+		t0 := r.Now()
+		f.Checkpoint(1)
+		smallT := r.Now() - t0
+		big := make([]float64, 1024*256)
+		f.Protect(0, F64s{&big})
+		t1 := r.Now()
+		f.Checkpoint(2)
+		bigT := r.Now() - t1
+		if bigT <= smallT {
+			t.Errorf("big ckpt %v not slower than small %v", bigT, smallT)
+		}
+		if f.Stats.CkptCount != 2 || f.Stats.CkptTime <= 0 {
+			t.Errorf("stats not recorded: %+v", f.Stats)
+		}
+	})
+}
+
+// Property: serialize/deserialize round-trips arbitrary protected payloads
+// bit-exactly, for any number of objects.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nobj := 1 + rng.Intn(5)
+		ok := true
+		harnessQ(nobj, rng, &ok)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func harnessQ(nobj int, rng *rand.Rand, ok *bool) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	st := storage.New(c, storage.Config{})
+	vals := make([][]float64, nobj)
+	for i := range vals {
+		vals[i] = make([]float64, rng.Intn(100))
+		for j := range vals[i] {
+			vals[i][j] = rng.NormFloat64()
+		}
+	}
+	j := mpi.Launch(c, 1, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, err := Init(Config{ExecID: "prop"}, r, w, st)
+		if err != nil {
+			*ok = false
+			return
+		}
+		work := make([][]float64, nobj)
+		for i := range vals {
+			work[i] = append([]float64(nil), vals[i]...)
+			f.Protect(i, F64s{&work[i]})
+		}
+		if f.Checkpoint(1) != nil {
+			*ok = false
+			return
+		}
+		for i := range work {
+			work[i] = nil
+		}
+		if f.Recover() != nil {
+			*ok = false
+			return
+		}
+		for i := range vals {
+			if len(work[i]) != len(vals[i]) {
+				*ok = false
+				return
+			}
+			for jx := range vals[i] {
+				if work[i][jx] != vals[i][jx] {
+					*ok = false
+					return
+				}
+			}
+		}
+	})
+	_ = j
+	c.Run()
+}

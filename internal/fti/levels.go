@@ -1,0 +1,228 @@
+package fti
+
+import (
+	"fmt"
+
+	"match/internal/enc"
+	"match/internal/mpi"
+	"match/internal/rs"
+	"match/internal/storage"
+)
+
+// ---- L1: node-local RAMFS ----
+
+func (f *FTI) writeL1(id int64, payload []byte) error {
+	return f.st.Write(f.r.Sim(), storage.RAMFS, f.node, f.ckptPath(id), payload)
+}
+
+// ---- L2: L1 plus a copy on the partner node ----
+
+func (f *FTI) writeL2(id int64, payload []byte) error {
+	if err := f.writeL1(id, payload); err != nil {
+		return err
+	}
+	return f.st.WriteRemote(f.r.Sim(), storage.RAMFS, f.node, f.partnerNode(),
+		"p/"+f.partnerPath(id), payload)
+}
+
+func (f *FTI) readL2(id int64) ([]byte, error) {
+	if b, err := f.st.Read(f.r.Sim(), storage.RAMFS, f.node, f.ckptPath(id)); err == nil {
+		return b, nil
+	}
+	return f.st.ReadRemote(f.r.Sim(), storage.RAMFS, f.partnerNode(), f.node,
+		"p/"+f.partnerPath(id))
+}
+
+// ---- L3: Reed–Solomon erasure coding across a group of ranks ----
+//
+// Ranks are partitioned into contiguous groups of GroupSize. Each member
+// stores its own checkpoint (a data shard) plus one parity shard of the
+// group's (k=G, m=G) code. Any G of the 2G shards reconstruct every
+// member's data, so the group survives the loss of half its members' nodes
+// — the property the paper quotes for FTI L3.
+
+// l3Group returns the group communicator and this rank's index within it.
+func (f *FTI) l3Group() (*mpi.Comm, int) {
+	g := f.cfg.GroupSize
+	lo := f.rank - f.rank%g
+	hi := lo + g
+	if hi > f.comm.Size() {
+		hi = f.comm.Size()
+	}
+	members := f.comm.Members()[lo:hi]
+	key := fmt.Sprintf("fti-l3/%s/%d/%d-%d", f.cfg.ExecID, f.comm.Ctx(), lo, hi)
+	return f.r.Job().SubComm(key, members), f.rank - lo
+}
+
+func (f *FTI) writeL3(id int64, payload []byte) error {
+	if err := f.writeL1(id, payload); err != nil {
+		return err
+	}
+	group, me := f.l3Group()
+	g := group.Size()
+	if g == 1 {
+		// Degenerate group: parity is a plain copy.
+		return f.st.Write(f.r.Sim(), storage.RAMFS, f.node, f.parityPath(id), payload)
+	}
+	// Exchange checkpoints within the group (the FTI encoding ring sends
+	// equivalent volume), then each member computes its own parity shard.
+	all, err := mpi.Allgatherv(f.r, group, payload)
+	if err != nil {
+		return fmt.Errorf("fti: L3 exchange: %w", err)
+	}
+	size := 0
+	for _, b := range all {
+		if len(b) > size {
+			size = len(b)
+		}
+	}
+	data := make([][]byte, g)
+	for i, b := range all {
+		data[i] = rs.Pad(b, size)
+	}
+	code, err := rs.New(g, g)
+	if err != nil {
+		return err
+	}
+	parity, err := code.Encode(data)
+	if err != nil {
+		return err
+	}
+	// Record the true payload lengths so reconstruction can un-pad.
+	meta := enc.AppendUint64(nil, uint64(size))
+	for _, b := range all {
+		meta = enc.AppendUint64(meta, uint64(len(b)))
+	}
+	blob := enc.AppendBytes(meta, parity[me])
+	return f.st.Write(f.r.Sim(), storage.RAMFS, f.node, f.parityPath(id), blob)
+}
+
+// readL3 is collective over the erasure group: every member must call it
+// (which Recover guarantees, since the restart status is agreed
+// collectively). If nobody lost data it degenerates to a local read plus
+// one tiny allreduce; otherwise the whole group exchanges its surviving
+// shards and the losers reconstruct.
+func (f *FTI) readL3(id int64) ([]byte, error) {
+	group, me := f.l3Group()
+	g := group.Size()
+	myData, lerr := f.st.Read(f.r.Sim(), storage.RAMFS, f.node, f.ckptPath(id))
+	missing := int64(0)
+	if lerr != nil {
+		missing = 1
+	}
+	anyMissing, err := mpi.AllreduceI64Scalar(f.r, group, missing, mpi.OpMax)
+	if err != nil {
+		return nil, fmt.Errorf("fti: L3 status agreement: %w", err)
+	}
+	if anyMissing == 0 {
+		return myData, nil
+	}
+	// Collect whatever shards the group still has: gather data and parity
+	// separately; a missing file contributes an empty payload.
+	myParity, _ := f.st.Read(f.r.Sim(), storage.RAMFS, f.node, f.parityPath(id))
+	datas, err := mpi.Allgatherv(f.r, group, myData)
+	if err != nil {
+		return nil, err
+	}
+	parities, err := mpi.Allgatherv(f.r, group, myParity)
+	if err != nil {
+		return nil, err
+	}
+	// Decode the shard-length metadata from any surviving parity blob.
+	var size int
+	lens := make([]int, g)
+	found := false
+	shards := make([][]byte, 2*g)
+	for i := 0; i < g; i++ {
+		if len(datas[i]) > 0 {
+			shards[i] = datas[i]
+		}
+		if len(parities[i]) > 0 {
+			meta := parities[i]
+			size = int(enc.Uint64(meta))
+			rest := meta[8:]
+			for j := 0; j < g; j++ {
+				lens[j] = int(enc.Uint64(rest))
+				rest = rest[8:]
+			}
+			var pshard []byte
+			pshard, _ = enc.NextBytes(rest)
+			shards[g+i] = pshard
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("fti: L3 group lost all parity shards")
+	}
+	for i := 0; i < g; i++ {
+		if shards[i] != nil {
+			shards[i] = rs.Pad(shards[i], size)
+		}
+	}
+	if lerr == nil {
+		// Our own shard survived; we only participated in the exchange.
+		return myData, nil
+	}
+	code, err := rs.New(g, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := code.Reconstruct(shards); err != nil {
+		return nil, fmt.Errorf("fti: L3 reconstruct: %w", err)
+	}
+	payload := shards[me][:lens[me]]
+	// Repopulate our local L1 copy so subsequent recoveries are cheap.
+	if err := f.writeL1(id, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---- L4: parallel file system with differential checkpointing ----
+
+func (f *FTI) writeL4(id int64, payload []byte) error {
+	sp := f.r.Sim()
+	hashes := hashBlocks(payload, f.cfg.BlockSize)
+	var prev []uint64
+	if b, err := f.st.Read(sp, storage.PFS, f.node, f.hashPath()); err == nil {
+		prev = make([]uint64, len(b)/8)
+		for i := range prev {
+			prev[i] = enc.Uint64(b[8*i:])
+		}
+	}
+	// Count the blocks that actually changed; only they cross the wire.
+	changed := 0
+	for i := range hashes {
+		if i >= len(prev) || prev[i] != hashes[i] {
+			changed++
+		}
+	}
+	dirtyBytes := changed * f.cfg.BlockSize
+	if dirtyBytes > len(payload) {
+		dirtyBytes = len(payload)
+	}
+	// Store the full file (simulation keeps state simple) but charge only
+	// the differential traffic, which is what the PFS sees.
+	if err := f.writeDiff(f.ckptPath(id), payload, dirtyBytes); err != nil {
+		return err
+	}
+	hb := make([]byte, 0, 8*len(hashes))
+	for _, h := range hashes {
+		hb = enc.AppendUint64(hb, h)
+	}
+	return f.st.Write(sp, storage.PFS, f.node, f.hashPath(), hb)
+}
+
+// writeDiff stores payload at path charging only dirtyBytes of PFS traffic.
+func (f *FTI) writeDiff(path string, payload []byte, dirtyBytes int) error {
+	sp := f.r.Sim()
+	if dirtyBytes >= len(payload) {
+		return f.st.Write(sp, storage.PFS, f.node, path, payload)
+	}
+	// Charge the dirty traffic, then install the full content without
+	// further charge.
+	if err := f.st.Write(sp, storage.PFS, f.node, path, payload[:dirtyBytes]); err != nil {
+		return err
+	}
+	return f.st.WriteFree(storage.PFS, f.node, path, payload)
+}

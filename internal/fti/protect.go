@@ -1,0 +1,85 @@
+package fti
+
+import (
+	"match/internal/enc"
+)
+
+// F64s protects a float64 slice through a pointer, so Restore can resize it
+// (checkpointed slices may have rank-dependent, run-dependent lengths).
+type F64s struct{ P *[]float64 }
+
+// Snapshot implements Protected.
+func (v F64s) Snapshot() []byte { return enc.Float64sToBytes(*v.P) }
+
+// Restore implements Protected.
+func (v F64s) Restore(b []byte) {
+	vals := enc.BytesToFloat64s(b)
+	*v.P = vals
+}
+
+// I64s protects an int64 slice through a pointer.
+type I64s struct{ P *[]int64 }
+
+// Snapshot implements Protected.
+func (v I64s) Snapshot() []byte { return enc.Int64sToBytes(*v.P) }
+
+// Restore implements Protected.
+func (v I64s) Restore(b []byte) { *v.P = enc.BytesToInt64s(b) }
+
+// Ints protects an int slice through a pointer.
+type Ints struct{ P *[]int }
+
+// Snapshot implements Protected.
+func (v Ints) Snapshot() []byte {
+	out := make([]byte, 0, 8*len(*v.P))
+	for _, x := range *v.P {
+		out = enc.AppendInt64(out, int64(x))
+	}
+	return out
+}
+
+// Restore implements Protected.
+func (v Ints) Restore(b []byte) {
+	vals := make([]int, len(b)/8)
+	for i := range vals {
+		vals[i] = int(enc.Int64(b[8*i:]))
+	}
+	*v.P = vals
+}
+
+// Int protects a single int (e.g. the main-loop iteration counter, which
+// must be checkpointed so a restart resumes at the right iteration).
+type Int struct{ P *int }
+
+// Snapshot implements Protected.
+func (v Int) Snapshot() []byte { return enc.AppendInt64(nil, int64(*v.P)) }
+
+// Restore implements Protected.
+func (v Int) Restore(b []byte) { *v.P = int(enc.Int64(b)) }
+
+// I64 protects a single int64.
+type I64 struct{ P *int64 }
+
+// Snapshot implements Protected.
+func (v I64) Snapshot() []byte { return enc.AppendInt64(nil, *v.P) }
+
+// Restore implements Protected.
+func (v I64) Restore(b []byte) { *v.P = enc.Int64(b) }
+
+// F64 protects a single float64.
+type F64 struct{ P *float64 }
+
+// Snapshot implements Protected.
+func (v F64) Snapshot() []byte { return enc.AppendFloat64(nil, *v.P) }
+
+// Restore implements Protected.
+func (v F64) Restore(b []byte) { *v.P = enc.Float64(b) }
+
+// Bytes protects a raw byte slice through a pointer.
+type Bytes struct{ P *[]byte }
+
+// Snapshot implements Protected.
+func (v Bytes) Snapshot() []byte { return append([]byte(nil), *v.P...) }
+
+// Restore implements Protected.
+func (v Bytes) Restore(b []byte) { *v.P = append([]byte(nil), b...) }

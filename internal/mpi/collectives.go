@@ -1,0 +1,394 @@
+package mpi
+
+import (
+	"fmt"
+
+	"match/internal/enc"
+)
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators (the subset the proxy applications and the recovery
+// protocols need).
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+	OpBAnd // bitwise and (int64 only) — used by the ULFM agreement
+	OpBOr  // bitwise or (int64 only)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpProd:
+		return "prod"
+	case OpBAnd:
+		return "band"
+	case OpBOr:
+		return "bor"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+func reduceF64(op Op, acc, in []float64) {
+	switch op {
+	case OpSum:
+		for i, v := range in {
+			acc[i] += v
+		}
+	case OpMax:
+		for i, v := range in {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range in {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	case OpProd:
+		for i, v := range in {
+			acc[i] *= v
+		}
+	default:
+		panic("mpi: operator not defined for float64: " + op.String())
+	}
+}
+
+func reduceI64(op Op, acc, in []int64) {
+	switch op {
+	case OpSum:
+		for i, v := range in {
+			acc[i] += v
+		}
+	case OpMax:
+		for i, v := range in {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range in {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+	case OpProd:
+		for i, v := range in {
+			acc[i] *= v
+		}
+	case OpBAnd:
+		for i, v := range in {
+			acc[i] &= v
+		}
+	case OpBOr:
+		for i, v := range in {
+			acc[i] |= v
+		}
+	}
+}
+
+// collective tag space: negative tags derived from a per-comm sequence
+// number that advances identically on every rank (collectives are SPMD).
+const collTagBase = -1000
+
+const collSlots = 8
+
+// nextCollTag reserves a tag block for one collective call on comm.
+func (r *Rank) nextCollTag(c *Comm) int {
+	seq := r.proc.collSeq[c.ctx]
+	r.proc.collSeq[c.ctx] = seq + 1
+	r.job.Stats.Collective++
+	return collTagBase - seq*collSlots
+}
+
+// bcastTree runs a binomial-tree broadcast of data from root; every rank
+// returns the payload.
+func bcastTree(r *Rank, c *Comm, root, tag int, data []byte) ([]byte, error) {
+	size := c.Size()
+	rank := r.Rank(c)
+	rel := (rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % size
+			m, err := Recv(r, c, src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			dst := (rel + mask + root) % size
+			if err := Send(r, c, dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// reduceTree runs a binomial-tree reduction to root. Every rank passes its
+// contribution as bytes; combine merges a received contribution into the
+// accumulator. Root returns the final accumulator; others return nil.
+func reduceTree(r *Rank, c *Comm, root, tag int, local []byte, combine func(acc, in []byte) []byte) ([]byte, error) {
+	size := c.Size()
+	rank := r.Rank(c)
+	rel := (rank - root + size) % size
+	acc := local
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask == 0 {
+			peer := rel | mask
+			if peer < size {
+				src := (peer + root) % size
+				m, err := Recv(r, c, src, tag)
+				if err != nil {
+					return nil, err
+				}
+				acc = combine(acc, m.Data)
+			}
+		} else {
+			dst := (rel - mask + root) % size
+			if err := Send(r, c, dst, tag, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// Barrier blocks until every rank of comm has entered it.
+func Barrier(r *Rank, c *Comm) error {
+	tag := r.nextCollTag(c)
+	_, err := reduceTree(r, c, 0, tag, nil, func(acc, _ []byte) []byte { return acc })
+	if err != nil {
+		return err
+	}
+	_, err = bcastTree(r, c, 0, tag-1, nil)
+	return err
+}
+
+// Bcast broadcasts root's payload to every rank and returns it.
+func Bcast(r *Rank, c *Comm, root int, data []byte) ([]byte, error) {
+	return bcastTree(r, c, root, r.nextCollTag(c), data)
+}
+
+// BcastI64 broadcasts an int64 slice from root.
+func BcastI64(r *Rank, c *Comm, root int, vals []int64) ([]int64, error) {
+	var payload []byte
+	if r.Rank(c) == root {
+		payload = enc.Int64sToBytes(vals)
+	}
+	out, err := Bcast(r, c, root, payload)
+	if err != nil {
+		return nil, err
+	}
+	return enc.BytesToInt64s(out), nil
+}
+
+// BcastF64 broadcasts a float64 slice from root.
+func BcastF64(r *Rank, c *Comm, root int, vals []float64) ([]float64, error) {
+	var payload []byte
+	if r.Rank(c) == root {
+		payload = enc.Float64sToBytes(vals)
+	}
+	out, err := Bcast(r, c, root, payload)
+	if err != nil {
+		return nil, err
+	}
+	return enc.BytesToFloat64s(out), nil
+}
+
+// ReduceF64 reduces element-wise to root; root gets the result, others nil.
+func ReduceF64(r *Rank, c *Comm, root int, vals []float64, op Op) ([]float64, error) {
+	tag := r.nextCollTag(c)
+	local := enc.Float64sToBytes(vals)
+	out, err := reduceTree(r, c, root, tag, local, func(acc, in []byte) []byte {
+		a := enc.BytesToFloat64s(acc)
+		reduceF64(op, a, enc.BytesToFloat64s(in))
+		return enc.Float64sToBytes(a)
+	})
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return enc.BytesToFloat64s(out), nil
+}
+
+// AllreduceF64 reduces element-wise across ranks; every rank gets the result.
+func AllreduceF64(r *Rank, c *Comm, vals []float64, op Op) ([]float64, error) {
+	tag := r.nextCollTag(c)
+	local := enc.Float64sToBytes(vals)
+	out, err := reduceTree(r, c, 0, tag, local, func(acc, in []byte) []byte {
+		a := enc.BytesToFloat64s(acc)
+		reduceF64(op, a, enc.BytesToFloat64s(in))
+		return enc.Float64sToBytes(a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := bcastTree(r, c, 0, tag-1, out)
+	if err != nil {
+		return nil, err
+	}
+	return enc.BytesToFloat64s(res), nil
+}
+
+// AllreduceI64 is AllreduceF64 for int64 payloads.
+func AllreduceI64(r *Rank, c *Comm, vals []int64, op Op) ([]int64, error) {
+	tag := r.nextCollTag(c)
+	local := enc.Int64sToBytes(vals)
+	out, err := reduceTree(r, c, 0, tag, local, func(acc, in []byte) []byte {
+		a := enc.BytesToInt64s(acc)
+		reduceI64(op, a, enc.BytesToInt64s(in))
+		return enc.Int64sToBytes(a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := bcastTree(r, c, 0, tag-1, out)
+	if err != nil {
+		return nil, err
+	}
+	return enc.BytesToInt64s(res), nil
+}
+
+// AllreduceF64Scalar reduces a single float64.
+func AllreduceF64Scalar(r *Rank, c *Comm, v float64, op Op) (float64, error) {
+	out, err := AllreduceF64(r, c, []float64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// AllreduceI64Scalar reduces a single int64.
+func AllreduceI64Scalar(r *Rank, c *Comm, v int64, op Op) (int64, error) {
+	out, err := AllreduceI64(r, c, []int64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Gatherv gathers variable-size payloads to root; root receives them in
+// rank order (its own contribution included), others get nil.
+func Gatherv(r *Rank, c *Comm, root int, data []byte) ([][]byte, error) {
+	tag := r.nextCollTag(c)
+	rank := r.Rank(c)
+	if rank != root {
+		return nil, Send(r, c, root, tag, data)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = data
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		m, err := Recv(r, c, i, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.Data
+	}
+	return out, nil
+}
+
+// Allgatherv gathers every rank's payload to all ranks, in rank order.
+func Allgatherv(r *Rank, c *Comm, data []byte) ([][]byte, error) {
+	tag := r.nextCollTag(c)
+	parts, err := Gatherv(r, c, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Root flattens with length prefixes, broadcasts, everyone unpacks.
+	var flat []byte
+	if r.Rank(c) == 0 {
+		for _, p := range parts {
+			flat = enc.AppendBytes(flat, p)
+		}
+	}
+	flat, err = bcastTree(r, c, 0, tag-1, flat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.Size())
+	rest := flat
+	for i := range out {
+		out[i], rest = enc.NextBytes(rest)
+	}
+	return out, nil
+}
+
+// AllgatherI64 gathers one int64 slice per rank (equal lengths not
+// required) and returns all contributions.
+func AllgatherI64(r *Rank, c *Comm, vals []int64) ([][]int64, error) {
+	parts, err := Allgatherv(r, c, enc.Int64sToBytes(vals))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(parts))
+	for i, p := range parts {
+		out[i] = enc.BytesToInt64s(p)
+	}
+	return out, nil
+}
+
+// Scatterv sends parts[i] from root to rank i; every rank returns its part.
+func Scatterv(r *Rank, c *Comm, root int, parts [][]byte) ([]byte, error) {
+	tag := r.nextCollTag(c)
+	rank := r.Rank(c)
+	if rank == root {
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := Send(r, c, i, tag, parts[i]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	m, err := Recv(r, c, root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Alltoallv exchanges send[i] with every rank i; returns recv where recv[i]
+// is the payload rank i sent to us. Uses a pairwise-shift schedule (P-1
+// phases), the standard algorithm for irregular all-to-all.
+func Alltoallv(r *Rank, c *Comm, send [][]byte) ([][]byte, error) {
+	tag := r.nextCollTag(c)
+	size := c.Size()
+	rank := r.Rank(c)
+	recv := make([][]byte, size)
+	recv[rank] = send[rank]
+	for s := 1; s < size; s++ {
+		dst := (rank + s) % size
+		src := (rank - s + size) % size
+		m, err := Sendrecv(r, c, dst, tag, send[dst], src, tag)
+		if err != nil {
+			return nil, err
+		}
+		recv[src] = m.Data
+	}
+	return recv, nil
+}

@@ -1,0 +1,468 @@
+// Package mpi implements a simulated MPI runtime over the simnet cluster:
+// jobs, communicators, point-to-point messaging with tag/source matching,
+// binomial-tree collectives, process spawning, and the failure semantics
+// (MPIX-style error classes, revocation, failure detection state) that the
+// ULFM and Reinit recovery frameworks build on.
+//
+// The simulation follows MPI semantics where they matter for fault
+// tolerance research: sends are eager and non-blocking (buffered by the
+// runtime), receives block until a matching message arrives, message order
+// is non-overtaking per (sender, receiver, communicator), and an operation
+// involving a failed process raises ErrProcFailed only once the failure has
+// been *detected* — before detection, the operation simply hangs, exactly
+// the behavior that makes MPI fault tolerance hard.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"match/internal/simnet"
+)
+
+// Error classes mirroring MPI/ULFM error codes.
+var (
+	// ErrProcFailed corresponds to MPIX_ERR_PROC_FAILED: a process involved
+	// in the operation has failed and the failure has been detected.
+	ErrProcFailed = errors.New("mpi: process failed (MPIX_ERR_PROC_FAILED)")
+	// ErrRevoked corresponds to MPIX_ERR_REVOKED: the communicator has been
+	// revoked by MPIX_Comm_revoke.
+	ErrRevoked = errors.New("mpi: communicator revoked (MPIX_ERR_REVOKED)")
+	// ErrAborted is returned when the job has been aborted (MPI_Abort).
+	ErrAborted = errors.New("mpi: job aborted")
+	// ErrRankExited is an internal error: a message was addressed to a rank
+	// that completed normally. Usually indicates a protocol bug.
+	ErrRankExited = errors.New("mpi: peer rank exited")
+)
+
+// AnySource matches any sender in Recv, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv, like MPI_ANY_TAG.
+const AnyTag = -1 << 30
+
+// Process is one MPI process: the runtime-level entity addressable by
+// communicators. A Process is distinct from simnet.Proc so that spawned
+// replacements (ULFM non-shrinking recovery) and restarted ranks get fresh
+// identities while the underlying node model persists.
+type Process struct {
+	gid    int // unique within the Job, never reused
+	node   int
+	job    *Job
+	proc   *simnet.Proc
+	failed bool
+
+	mbox     []*Message
+	blocked  bool        // parked inside a messaging wait
+	inflight map[int]int // srcGID -> messages sent but not yet delivered
+
+	collSeq map[int]int // comm ctx -> collective sequence number
+	lastArr map[int]simnet.Time
+
+	// stolen accumulates runtime-interference time (e.g. the ULFM failure
+	// detector's periodic agreement) to be charged at the next MPI call.
+	stolen simnet.Time
+}
+
+// GID returns the process's unique id within the job.
+func (p *Process) GID() int { return p.gid }
+
+// NodeID returns the node the process runs on.
+func (p *Process) NodeID() int { return p.node }
+
+// Failed reports whether the process has failed.
+func (p *Process) Failed() bool { return p.failed }
+
+// SimProc returns the simnet process backing this MPI process (nil until
+// bound or started).
+func (p *Process) SimProc() *simnet.Proc { return p.proc }
+
+// SetSimProc binds the simnet process early (before the body runs), so
+// runtime components can watch its exit.
+func (p *Process) SetSimProc(sp *simnet.Proc) { p.proc = sp }
+
+// Message is a delivered point-to-point message.
+type Message struct {
+	Ctx     int // communicator context id
+	SrcGID  int
+	SrcRank int // rank of sender in the communicator
+	Tag     int
+	Data    []byte
+	arrival simnet.Time
+	epoch   int
+}
+
+// Stats aggregates message-layer counters for reporting.
+type Stats struct {
+	Messages   int64
+	Bytes      int64
+	Collective int64
+}
+
+// Job is a launched MPI job: a set of processes on the cluster plus the
+// communicator table and failure-detection state. Restart-based recovery
+// creates a brand-new Job; Reinit bumps the Job epoch in place.
+type Job struct {
+	cluster *simnet.Cluster
+	procs   map[int]*Process // by gid
+	nextGID int
+	nextCtx int
+	world   *Comm
+	epoch   int
+	aborted bool
+
+	detected  map[int]bool // gid -> failure detected
+	detectSub []func(gid int)
+	subcomms  map[string]*Comm
+
+	// PerOpOverhead is added to every point-to-point operation; the ULFM
+	// runtime sets it to model its amended (failure-checking) interfaces.
+	PerOpOverhead simnet.Time
+
+	// BytesScale multiplies message sizes for *time accounting only* (the
+	// payload itself is untouched). The harness runs scaled-down problem
+	// instances but charges network time as if the paper-scale problem's
+	// messages were on the wire; see DESIGN.md §6.
+	BytesScale float64
+
+	// DeliveryFactor inflates every message's in-flight time by the given
+	// fraction. The ULFM runtime sets it to model its interposed progress
+	// engine (revoke checks, failure piggybacking) on the message path;
+	// the resulting application slowdown then grows with the application's
+	// communication share, i.e. with scale and input size — the trend the
+	// paper reports for ULFM-FTI.
+	DeliveryFactor float64
+
+	Stats Stats
+}
+
+// NewJob creates an empty job on the cluster.
+func NewJob(c *simnet.Cluster) *Job {
+	return &Job{
+		cluster:  c,
+		procs:    make(map[int]*Process),
+		detected: make(map[int]bool),
+		subcomms: make(map[string]*Comm),
+	}
+}
+
+// Cluster returns the underlying simulated cluster.
+func (j *Job) Cluster() *simnet.Cluster { return j.cluster }
+
+// Epoch returns the current job epoch (bumped by Reinit resets).
+func (j *Job) Epoch() int { return j.epoch }
+
+// Aborted reports whether MPI_Abort has been called.
+func (j *Job) Aborted() bool { return j.aborted }
+
+// AddProcess registers a new MPI process bound to a simnet process on the
+// given node. Used by Launch and by ULFM spawn.
+func (j *Job) AddProcess(node int, proc *simnet.Proc) *Process {
+	p := &Process{
+		gid:      j.nextGID,
+		node:     node,
+		job:      j,
+		proc:     proc,
+		collSeq:  make(map[int]int),
+		lastArr:  make(map[int]simnet.Time),
+		inflight: make(map[int]int),
+	}
+	j.nextGID++
+	j.procs[p.gid] = p
+	return p
+}
+
+// NewComm builds a communicator over the given processes; member order
+// defines ranks.
+func (j *Job) NewComm(members []*Process) *Comm {
+	c := &Comm{job: j, ctx: j.nextCtx, members: append([]*Process(nil), members...)}
+	j.nextCtx++
+	c.rankOf = make(map[int]int, len(members))
+	for i, m := range members {
+		c.rankOf[m.gid] = i
+	}
+	return c
+}
+
+// World returns the world communicator of the job.
+func (j *Job) World() *Comm { return j.world }
+
+// SetWorld installs the world communicator (used at launch and after
+// recovery rebuilds it).
+func (j *Job) SetWorld(c *Comm) { j.world = c }
+
+// MarkFailed records a process failure (fail-stop). Detection is separate:
+// operations keep hanging until MarkDetected is called by a failure
+// detector.
+func (j *Job) MarkFailed(gid int) {
+	if p, ok := j.procs[gid]; ok {
+		p.failed = true
+	}
+}
+
+// MarkDetected records that the failure of gid is now globally known and
+// wakes every blocked process so pending operations can fail with
+// ErrProcFailed. Failure-detection subscribers (error handlers) fire first.
+func (j *Job) MarkDetected(gid int) {
+	if j.detected[gid] {
+		return
+	}
+	j.detected[gid] = true
+	for _, f := range j.detectSub {
+		f(gid)
+	}
+	j.wakeAllBlocked()
+}
+
+// Detected reports whether gid's failure has been detected.
+func (j *Job) Detected(gid int) bool { return j.detected[gid] }
+
+// OnDetect registers a callback invoked (in scheduler context) when a
+// failure is detected. ULFM uses this to trigger error handlers.
+func (j *Job) OnDetect(f func(gid int)) { j.detectSub = append(j.detectSub, f) }
+
+// wakeAllBlocked wakes every process parked in a messaging wait so it can
+// re-check revocation/failure conditions.
+func (j *Job) wakeAllBlocked() {
+	now := j.cluster.Now()
+	for i := 0; i < j.nextGID; i++ {
+		p, ok := j.procs[i]
+		if !ok || p.failed || p.proc == nil {
+			continue
+		}
+		if p.blocked {
+			p.proc.Unblock(now)
+		}
+	}
+}
+
+// Abort kills every process in the job (MPI_Abort). Safe to call from rank
+// context: the kills are delivered via a scheduler event at the current
+// virtual time, once the caller has yielded. A rank calling Abort should
+// not expect to survive past its next yield point.
+func (j *Job) Abort() {
+	if j.aborted {
+		return
+	}
+	j.aborted = true
+	j.cluster.Scheduler().After(0, func() {
+		for i := 0; i < j.nextGID; i++ {
+			p, ok := j.procs[i]
+			if !ok || p.proc == nil {
+				continue
+			}
+			if !p.proc.Exited() && !p.proc.Dead() {
+				p.proc.Kill()
+			}
+		}
+	})
+}
+
+// BumpEpoch invalidates all in-flight messages and clears mailboxes:
+// Reinit's global reset uses this to flush communication state.
+func (j *Job) BumpEpoch() {
+	j.epoch++
+	for _, p := range j.procs {
+		p.mbox = nil
+	}
+}
+
+// Steal adds runtime-interference time to a process, charged at its next
+// MPI call. This models background runtime activity (the ULFM detector's
+// periodic agreement rounds) preempting the application.
+func (j *Job) Steal(gid int, d simnet.Time) {
+	if p, ok := j.procs[gid]; ok {
+		p.stolen += d
+	}
+}
+
+// SubComm returns the communicator memoized under key, creating it over
+// members on first use. Because ranks execute one at a time, every member
+// calling SubComm with the same key and member list shares one Comm
+// instance with a single matching context, which is how SPMD code splits
+// communicators without a central coordinator.
+func (j *Job) SubComm(key string, members []*Process) *Comm {
+	if c, ok := j.subcomms[key]; ok {
+		return c
+	}
+	c := j.NewComm(members)
+	j.subcomms[key] = c
+	return c
+}
+
+// DropSubComms clears memoized sub-communicators (stale after recovery
+// rebuilds the world).
+func (j *Job) DropSubComms() { j.subcomms = make(map[string]*Comm) }
+
+// Comm is a communicator: an ordered process group plus a matching context.
+type Comm struct {
+	job     *Job
+	ctx     int
+	members []*Process
+	rankOf  map[int]int
+	revoked bool
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Ctx returns the matching context id (unique per communicator).
+func (c *Comm) Ctx() int { return c.ctx }
+
+// Member returns the process at the given rank.
+func (c *Comm) Member(rank int) *Process { return c.members[rank] }
+
+// Members returns the process group (do not mutate).
+func (c *Comm) Members() []*Process { return c.members }
+
+// RankOf returns the rank of process gid, or -1 if not a member.
+func (c *Comm) RankOf(gid int) int {
+	if r, ok := c.rankOf[gid]; ok {
+		return r
+	}
+	return -1
+}
+
+// Revoked reports whether the communicator has been revoked.
+func (c *Comm) Revoked() bool { return c.revoked }
+
+// Revoke marks the communicator revoked and interrupts all pending
+// communication on it (the semantics of MPIX_Comm_revoke; the propagation
+// cost is charged by the ulfm package, which owns the protocol).
+func (c *Comm) Revoke() {
+	if c.revoked {
+		return
+	}
+	c.revoked = true
+	c.job.wakeAllBlocked()
+}
+
+// FailedMembers returns the ranks of members whose processes have failed.
+func (c *Comm) FailedMembers() []int {
+	var out []int
+	for i, m := range c.members {
+		if m.failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AliveMembers returns the processes that have not failed, in rank order.
+func (c *Comm) AliveMembers() []*Process {
+	var out []*Process
+	for _, m := range c.members {
+		if !m.failed {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Rank is the handle rank code uses for all MPI operations. It binds a
+// Process to its simnet execution context.
+type Rank struct {
+	job  *Job
+	proc *Process
+	sp   *simnet.Proc
+}
+
+// Bind creates a Rank handle for process p executing on sp.
+func Bind(j *Job, p *Process, sp *simnet.Proc) *Rank {
+	p.proc = sp
+	return &Rank{job: j, proc: p, sp: sp}
+}
+
+// Job returns the owning job.
+func (r *Rank) Job() *Job { return r.job }
+
+// Process returns the underlying MPI process.
+func (r *Rank) Process() *Process { return r.proc }
+
+// Sim returns the simnet process (for Compute, Now, etc.).
+func (r *Rank) Sim() *simnet.Proc { return r.sp }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() simnet.Time { return r.sp.Now() }
+
+// Compute charges d of virtual CPU time.
+func (r *Rank) Compute(d simnet.Time) { r.sp.Compute(d) }
+
+// Rank returns this process's rank in comm (-1 if not a member).
+func (r *Rank) Rank(c *Comm) int { return c.RankOf(r.proc.gid) }
+
+// Size returns comm's size.
+func (r *Rank) Size(c *Comm) int { return c.Size() }
+
+// Die makes the calling rank fail-stop immediately (fault injection).
+func (r *Rank) Die() {
+	r.proc.failed = true
+	r.sp.Die()
+}
+
+// chargeOverheads applies the per-op overhead plus any stolen runtime time.
+func (r *Rank) chargeOverheads() {
+	d := r.job.PerOpOverhead + r.proc.stolen
+	r.proc.stolen = 0
+	if d > 0 {
+		r.sp.Compute(d)
+	}
+}
+
+// opError checks for conditions that must fail an operation on comm.
+func (r *Rank) opError(c *Comm) error {
+	if r.job.aborted {
+		return ErrAborted
+	}
+	if c.revoked {
+		return ErrRevoked
+	}
+	return nil
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (r *Rank) String() string {
+	return fmt.Sprintf("rank(gid=%d,node=%d)", r.proc.gid, r.proc.node)
+}
+
+// Launch starts an n-process MPI job on the cluster with block placement
+// over the cluster's nodes (ranks are distributed round-robin in contiguous
+// blocks, matching typical mpirun --map-by node:block behavior). The main
+// function runs once per rank. Launch returns the Job; the caller then runs
+// the cluster's scheduler.
+func Launch(c *simnet.Cluster, n int, startDelay simnet.Time, main func(*Rank)) *Job {
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i * c.NumNodes() / n // block placement
+	}
+	return LaunchPlaced(c, nodes, startDelay, main)
+}
+
+// LaunchPlaced is Launch with an explicit rank-to-node placement.
+func LaunchPlaced(c *simnet.Cluster, nodes []int, startDelay simnet.Time, main func(*Rank)) *Job {
+	j := NewJob(c)
+	n := len(nodes)
+	members := make([]*Process, n)
+	for i := 0; i < n; i++ {
+		members[i] = j.AddProcess(nodes[i], nil)
+	}
+	j.SetWorld(j.NewComm(members))
+	for i := 0; i < n; i++ {
+		p := members[i]
+		sp := c.StartProc(p.node, startDelay, func(sp *simnet.Proc) {
+			main(Bind(j, p, sp))
+		})
+		p.proc = sp
+		sp.OnExit(func(s *simnet.Proc) {
+			if s.Status() == simnet.ExitKilled {
+				p.failed = true
+			}
+		})
+	}
+	return j
+}
+
+// PlacementNode returns the node a given rank of an n-rank job lands on.
+func PlacementNode(c *simnet.Cluster, rank, n int) int {
+	return rank * c.NumNodes() / n
+}

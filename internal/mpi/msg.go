@@ -1,0 +1,164 @@
+package mpi
+
+import "match/internal/simnet"
+
+// Send posts a point-to-point message to rank dst of comm. Sends are eager:
+// the runtime buffers the payload, so Send never blocks waiting for the
+// receiver (it only charges the sender-side overhead and NIC time). A send
+// to a failed process succeeds silently unless the failure has been
+// detected — exactly MPI's fail-stop ambiguity.
+func Send(r *Rank, c *Comm, dst, tag int, data []byte) error {
+	r.chargeOverheads()
+	if err := r.opError(c); err != nil {
+		return err
+	}
+	to := c.Member(dst)
+	if to.failed && r.job.Detected(to.gid) {
+		return ErrProcFailed
+	}
+	cl := r.job.cluster
+	cfg := cl.Config()
+	r.sp.Compute(cfg.SendOverhead)
+
+	now := r.sp.Now()
+	wireBytes := len(data)
+	if r.job.BytesScale > 1 {
+		wireBytes = int(float64(wireBytes) * r.job.BytesScale)
+	}
+	var arrive simnet.Time
+	if to.gid == r.proc.gid {
+		arrive = now + cfg.IntraLatency
+	} else {
+		arrive = cl.SendArrival(r.proc.node, to.node, wireBytes, now)
+	}
+	if f := r.job.DeliveryFactor; f > 0 {
+		arrive += simnet.Time(f * float64(arrive-now))
+	}
+	// Enforce MPI's non-overtaking order per (sender, receiver).
+	if last := r.proc.lastArr[to.gid]; arrive < last {
+		arrive = last
+	}
+	r.proc.lastArr[to.gid] = arrive
+
+	msg := &Message{
+		Ctx:     c.ctx,
+		SrcGID:  r.proc.gid,
+		SrcRank: c.RankOf(r.proc.gid),
+		Tag:     tag,
+		Data:    data,
+		arrival: arrive,
+		epoch:   r.job.epoch,
+	}
+	j := r.job
+	to.inflight[r.proc.gid]++
+	cl.Scheduler().At(arrive, func() {
+		to.inflight[msg.SrcGID]--
+		if msg.epoch != j.epoch {
+			return // flushed by a Reinit reset
+		}
+		if to.failed || to.proc == nil || to.proc.Exited() {
+			return // dropped on the floor, like a real NIC
+		}
+		to.mbox = append(to.mbox, msg)
+		if to.blocked {
+			to.proc.Unblock(arrive)
+		}
+		// A rank blocked in Recv may be woken by unrelated events; waking on
+		// every delivery keeps the wait loop simple and correct.
+	})
+	j.Stats.Messages++
+	j.Stats.Bytes += int64(len(data))
+	return nil
+}
+
+// match removes and returns the first mailbox message matching the
+// (comm, src, tag) triple, or nil.
+func (p *Process) match(ctx, srcRank, tag int) *Message {
+	for i, m := range p.mbox {
+		if m.Ctx != ctx {
+			continue
+		}
+		if srcRank != AnySource && m.SrcRank != srcRank {
+			continue
+		}
+		if tag != AnyTag && m.Tag != tag {
+			continue
+		}
+		p.mbox = append(p.mbox[:i], p.mbox[i+1:]...)
+		return m
+	}
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) arrives on comm. src may
+// be AnySource and tag may be AnyTag. If the communicator is revoked while
+// waiting, Recv returns ErrRevoked; if the awaited sender's failure is
+// detected, ErrProcFailed. An undetected failure hangs — that is the
+// whole point of failure detectors.
+func Recv(r *Rank, c *Comm, src, tag int) (*Message, error) {
+	r.chargeOverheads()
+	for {
+		if err := r.opError(c); err != nil {
+			return nil, err
+		}
+		if m := r.proc.match(c.ctx, src, tag); m != nil {
+			r.sp.Compute(r.job.cluster.Config().RecvOverhead)
+			return m, nil
+		}
+		if src != AnySource {
+			from := c.Member(src)
+			if from.failed && r.job.Detected(from.gid) {
+				return nil, ErrProcFailed
+			}
+			if !from.failed && from.proc != nil && from.proc.Exited() &&
+				r.proc.inflight[from.gid] == 0 {
+				// Peer finished the program without sending: protocol bug,
+				// or a rank outliving its peers. Fail fast instead of
+				// deadlocking the simulation.
+				return nil, ErrRankExited
+			}
+		} else if anyDetectedFailure(c, r.job) {
+			return nil, ErrProcFailed
+		}
+		r.proc.blocked = true
+		r.sp.Block()
+		r.proc.blocked = false
+	}
+}
+
+func anyDetectedFailure(c *Comm, j *Job) bool {
+	for _, m := range c.members {
+		if m.failed && j.Detected(m.gid) {
+			return true
+		}
+	}
+	return false
+}
+
+// Iprobe reports whether a matching message is already available, without
+// receiving it.
+func Iprobe(r *Rank, c *Comm, src, tag int) bool {
+	for _, m := range r.proc.mbox {
+		if m.Ctx != c.ctx {
+			continue
+		}
+		if src != AnySource && m.SrcRank != src {
+			continue
+		}
+		if tag != AnyTag && m.Tag != tag {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Sendrecv posts a send to dst and then receives from src; because sends
+// are eager this is deadlock-free in any order across ranks (the standard
+// halo-exchange primitive).
+func Sendrecv(r *Rank, c *Comm, dst, sendTag int, data []byte, src, recvTag int) (*Message, error) {
+	if err := Send(r, c, dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	return Recv(r, c, src, recvTag)
+}

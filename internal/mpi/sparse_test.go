@@ -1,0 +1,109 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"match/internal/simnet"
+)
+
+func TestSparseExchangeBasic(t *testing.T) {
+	n := 6
+	got := make([]map[int][]int64, n)
+	runJob(t, n, func(r *Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		// Each rank sends its id to (me+1)%n and (me+2)%n.
+		send := map[int][]int64{
+			(me + 1) % n: {int64(me * 10)},
+			(me + 2) % n: {int64(me*10 + 1)},
+		}
+		out, err := SparseExchangeI64(r, w, send)
+		if err != nil {
+			t.Errorf("exchange: %v", err)
+			return
+		}
+		got[me] = out
+	})
+	for me := 0; me < n; me++ {
+		from1 := (me - 1 + n) % n
+		from2 := (me - 2 + n) % n
+		if len(got[me]) != 2 {
+			t.Fatalf("rank %d received from %d peers, want 2", me, len(got[me]))
+		}
+		if got[me][from1][0] != int64(from1*10) {
+			t.Fatalf("rank %d from %d: %v", me, from1, got[me][from1])
+		}
+		if got[me][from2][0] != int64(from2*10+1) {
+			t.Fatalf("rank %d from %d: %v", me, from2, got[me][from2])
+		}
+	}
+}
+
+func TestSparseExchangeEmptySenders(t *testing.T) {
+	n := 4
+	received := make([]int, n)
+	runJob(t, n, func(r *Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		var send map[int][]byte
+		if me == 0 {
+			send = map[int][]byte{3: []byte("only")}
+		}
+		out, err := SparseExchange(r, w, send)
+		if err != nil {
+			t.Errorf("exchange: %v", err)
+			return
+		}
+		received[me] = len(out)
+	})
+	for me, n := range received {
+		want := 0
+		if me == 3 {
+			want = 1
+		}
+		if n != want {
+			t.Fatalf("rank %d received %d payloads, want %d", me, n, want)
+		}
+	}
+}
+
+// Property: for a random sparse pattern, everything sent is received
+// exactly once with correct attribution.
+func TestSparseExchangeRandomPatterns(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		plan := make([]map[int][]int64, n)
+		for me := 0; me < n; me++ {
+			plan[me] = map[int][]int64{}
+			for d := 0; d < n; d++ {
+				if rng.Intn(3) == 0 {
+					plan[me][d] = []int64{int64(me*1000 + d)}
+				}
+			}
+		}
+		got := make([]map[int][]int64, n)
+		c := simnet.NewCluster(simnet.Config{Nodes: 2})
+		mpi := Launch(c, n, 0, func(r *Rank) {
+			w := r.Job().World()
+			me := r.Rank(w)
+			out, err := SparseExchangeI64(r, w, plan[me])
+			if err != nil {
+				t.Errorf("seed %d rank %d: %v", seed, me, err)
+				return
+			}
+			got[me] = out
+		})
+		_ = mpi
+		c.Run()
+		for src := 0; src < n; src++ {
+			for dst, payload := range plan[src] {
+				if len(got[dst][src]) != 1 || got[dst][src][0] != payload[0] {
+					t.Fatalf("seed %d: %d->%d payload %v arrived as %v",
+						seed, src, dst, payload, got[dst][src])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package reinit implements the Reinit global-restart recovery framework
+// (Laguna et al.; Georgakoudis et al., "Reinit++", ISC'20): MPI recovery
+// performed *inside the MPI runtime*, transparently to the application.
+//
+// The application wraps its main in a resilient function (the paper's
+// Figure 2). On a process failure the runtime: detects the failure through
+// its daemons, flushes all communication state, respawns the failed
+// process on its node, rebuilds the world communicator, and unwinds every
+// survivor back into the resilient function with state Restarted — the
+// runtime-level equivalent of longjmp. Because everything happens in the
+// runtime with small control messages, recovery cost is low and
+// independent of both the process count and the problem size, which is
+// exactly the behavior the paper measures (Figures 7 and 10).
+package reinit
+
+import (
+	"fmt"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+// State tells the resilient function whether it is a fresh start or a
+// post-failure re-entry, like OMPI_reinit_state_t.
+type State int
+
+const (
+	// StateNew is the first invocation.
+	StateNew State = iota
+	// StateRestarted marks re-entry after a global restart.
+	StateRestarted
+)
+
+func (s State) String() string {
+	if s == StateRestarted {
+		return "restarted"
+	}
+	return "new"
+}
+
+// restartSignal unwinds a survivor rank out of whatever it was doing back
+// to the resilient-main boundary.
+type restartSignal struct{ reset int }
+
+// Config tunes the runtime's failure detection and respawn model. The
+// defaults reflect Reinit++'s design: detection via the runtime daemon tree
+// (fast, local) and a fork/exec respawn of the failed rank.
+type Config struct {
+	DetectPeriod  simnet.Time // daemon supervision period
+	DetectTimeout simnet.Time // time from death to confirmed detection
+	RespawnDelay  simnet.Time // fork/exec + MPI init of the replacement
+	ResetHop      simnet.Time // per-tree-level latency of the reset broadcast
+}
+
+// DefaultConfig returns the Reinit++ cost model used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		DetectPeriod:  25 * simnet.Millisecond,
+		DetectTimeout: 100 * simnet.Millisecond,
+		RespawnDelay:  250 * simnet.Millisecond,
+		ResetHop:      2 * simnet.Millisecond,
+	}
+}
+
+// Recovery records one global restart, for the harness's recovery-time
+// breakdown.
+type Recovery struct {
+	FailedRank  int
+	FailedAt    simnet.Time
+	DetectedAt  simnet.Time
+	CompletedAt simnet.Time // replacement up, world rebuilt
+}
+
+// Duration is the MPI recovery time for this event.
+func (rec Recovery) Duration() simnet.Time { return rec.CompletedAt - rec.FailedAt }
+
+// Runtime is the per-job Reinit runtime: failure monitor plus global-reset
+// machinery. One Runtime serves all ranks of a job.
+type Runtime struct {
+	job  *mpi.Job
+	cfg  Config
+	main func(*mpi.Rank, State) error
+
+	world    *mpi.Comm
+	resets   int
+	failedAt map[int]simnet.Time // gid -> death time
+	seen     map[int]bool
+	stopped  bool
+
+	// Recoveries lists completed global restarts.
+	Recoveries []Recovery
+	// Errs collects resilient-main errors (diagnosed by the harness).
+	Errs []error
+}
+
+// NewRuntime installs the Reinit runtime on a job. main is the resilient
+// function every rank (including future replacements) executes; ranks
+// enter it through Run. The monitor starts immediately.
+func NewRuntime(job *mpi.Job, cfg Config, main func(*mpi.Rank, State) error) *Runtime {
+	def := DefaultConfig()
+	if cfg.DetectPeriod == 0 {
+		cfg.DetectPeriod = def.DetectPeriod
+	}
+	if cfg.DetectTimeout == 0 {
+		cfg.DetectTimeout = def.DetectTimeout
+	}
+	if cfg.RespawnDelay == 0 {
+		cfg.RespawnDelay = def.RespawnDelay
+	}
+	if cfg.ResetHop == 0 {
+		cfg.ResetHop = def.ResetHop
+	}
+	rt := &Runtime{
+		job:      job,
+		cfg:      cfg,
+		main:     main,
+		world:    job.World(),
+		failedAt: make(map[int]simnet.Time),
+		seen:     make(map[int]bool),
+	}
+	rt.watchExits(rt.world.Members())
+	job.Cluster().Scheduler().After(cfg.DetectPeriod, rt.tick)
+	return rt
+}
+
+// watchExits records exact death times of processes (the runtime daemons
+// see the SIGCHLD immediately; confirmation takes DetectTimeout).
+func (rt *Runtime) watchExits(procs []*mpi.Process) {
+	for _, p := range procs {
+		p := p
+		if sp := procOf(p); sp != nil {
+			sp.OnExit(func(s *simnet.Proc) {
+				if s.Status() == simnet.ExitKilled {
+					if _, ok := rt.failedAt[p.GID()]; !ok {
+						rt.failedAt[p.GID()] = s.Now()
+					}
+				}
+			})
+		}
+	}
+}
+
+// procOf extracts the simnet process; nil-safe for not-yet-started procs.
+func procOf(p *mpi.Process) *simnet.Proc { return p.SimProc() }
+
+// World returns the current world communicator; it changes on every global
+// restart (the worldc swap of the paper's Figure 3, done by the runtime).
+func (rt *Runtime) World() *mpi.Comm { return rt.world }
+
+// Resets returns how many global restarts have happened.
+func (rt *Runtime) Resets() int { return rt.resets }
+
+// Stop halts the failure monitor (job teardown).
+func (rt *Runtime) Stop() { rt.stopped = true }
+
+// tick is the daemon supervision loop.
+func (rt *Runtime) tick() {
+	if rt.stopped {
+		return
+	}
+	now := rt.job.Cluster().Now()
+	allExited := true
+	for _, p := range rt.world.Members() {
+		sp := procOf(p)
+		if sp == nil || !sp.Exited() {
+			allExited = false
+		}
+		if !p.Failed() {
+			continue
+		}
+		gid := p.GID()
+		if rt.seen[gid] {
+			continue
+		}
+		failed, ok := rt.failedAt[gid]
+		if !ok {
+			failed = now
+			rt.failedAt[gid] = now
+		}
+		if now-failed >= rt.cfg.DetectTimeout {
+			rt.seen[gid] = true
+			rt.globalRestart(p, failed, now)
+			allExited = false
+		}
+	}
+	if allExited {
+		return // job finished; let the scheduler drain
+	}
+	rt.job.Cluster().Scheduler().After(rt.cfg.DetectPeriod, rt.tick)
+}
+
+// globalRestart is the runtime's recovery path: flush communication,
+// respawn the failed rank in place, rebuild the world, and unwind all
+// survivors back into resilient main.
+func (rt *Runtime) globalRestart(failed *mpi.Process, failedAt, detectedAt simnet.Time) {
+	rt.resets++
+	reset := rt.resets
+	cl := rt.job.Cluster()
+	now := cl.Now()
+
+	// 1. Flush all in-flight and queued messages.
+	rt.job.BumpEpoch()
+	rt.job.DropSubComms()
+
+	// 2. Respawn the failed rank on its node (fork/exec + MPI init).
+	oldRank := rt.world.RankOf(failed.GID())
+	members := append([]*mpi.Process(nil), rt.world.Members()...)
+	repl := rt.job.AddProcess(failed.NodeID(), nil)
+	members[oldRank] = repl
+	sp := cl.StartProc(failed.NodeID(), rt.cfg.RespawnDelay, func(sp *simnet.Proc) {
+		r := mpi.Bind(rt.job, repl, sp)
+		if err := rt.runLoop(r, StateRestarted); err != nil {
+			rt.Errs = append(rt.Errs, fmt.Errorf("reinit: respawned rank %d: %w", oldRank, err))
+		}
+	})
+	repl.SetSimProc(sp)
+	rt.watchExits([]*mpi.Process{repl})
+
+	// 3. Rebuild the world communicator.
+	rt.world = rt.job.NewComm(members)
+
+	// 4. Unwind survivors via the daemon tree: rank i learns about the
+	// reset after depth(i) hops.
+	for i, p := range members {
+		if p == repl || p.Failed() {
+			continue
+		}
+		spv := procOf(p)
+		if spv == nil || spv.Exited() {
+			continue
+		}
+		depth := treeDepth(i)
+		spv.Signal(now+simnet.Time(depth)*rt.cfg.ResetHop, restartSignal{reset: reset})
+	}
+
+	rec := Recovery{
+		FailedRank:  oldRank,
+		FailedAt:    failedAt,
+		DetectedAt:  detectedAt,
+		CompletedAt: now + rt.cfg.RespawnDelay,
+	}
+	rt.Recoveries = append(rt.Recoveries, rec)
+}
+
+// treeDepth returns the level of rank in a binomial broadcast tree.
+func treeDepth(rank int) int {
+	d := 0
+	for rank > 0 {
+		rank = (rank - 1) / 2
+		d++
+	}
+	return d
+}
+
+// Run executes the resilient function for the calling rank, re-entering it
+// with StateRestarted after every global restart — the analog of
+// OMPI_Reinit(argc, argv, resilient_main) in the paper's Figure 2.
+func (rt *Runtime) Run(r *mpi.Rank) error {
+	return rt.runLoop(r, StateNew)
+}
+
+func (rt *Runtime) runLoop(r *mpi.Rank, state State) error {
+	for {
+		restarted, err := rt.protectedCall(r, state)
+		if restarted {
+			state = StateRestarted
+			continue
+		}
+		return err
+	}
+}
+
+// protectedCall invokes resilient main, converting a restartSignal unwind
+// into a re-entry request.
+func (rt *Runtime) protectedCall(r *mpi.Rank, state State) (restarted bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(restartSignal); ok {
+				restarted = true
+				return
+			}
+			panic(v)
+		}
+	}()
+	return false, rt.main(r, state)
+}

@@ -1,0 +1,167 @@
+// Package restart implements the baseline MPI fault-tolerance design: when
+// any rank dies, the job launcher (mpirun/srun) tears the whole job down
+// and redeploys it from scratch. Application state survives only through
+// checkpoints; MPI state is rebuilt by paying the full job-launch cost,
+// which is why the paper measures Restart recovery as roughly an order of
+// magnitude slower than online recovery (16x Reinit, 2-3x ULFM on average).
+package restart
+
+import (
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+// Config is the job-launcher cost model.
+type Config struct {
+	// DetectDelay is the time for the launcher to notice a dead rank
+	// (waitpid on the orted/slurmstepd chain).
+	DetectDelay simnet.Time
+	// TeardownDelay covers killing surviving ranks and cleaning up.
+	TeardownDelay simnet.Time
+	// LaunchBase is the fixed redeployment cost (allocation handshake,
+	// binary broadcast, wire-up).
+	LaunchBase simnet.Time
+	// LaunchPerProc is the per-rank start cost (fork/exec, MPI_Init
+	// wire-up grows with job size).
+	LaunchPerProc simnet.Time
+	// MaxRelaunches bounds restart loops (safety against repeated failure).
+	MaxRelaunches int
+	// OnLaunch, when set, is invoked on every job incarnation right after
+	// launch (the harness uses it to install per-run job knobs).
+	OnLaunch func(*mpi.Job)
+}
+
+// DefaultConfig reflects typical mpirun redeployment costs on a cluster of
+// the paper's scale.
+func DefaultConfig() Config {
+	return Config{
+		DetectDelay:   500 * simnet.Millisecond,
+		TeardownDelay: 500 * simnet.Millisecond,
+		LaunchBase:    5 * simnet.Second,
+		LaunchPerProc: 4 * simnet.Millisecond,
+		MaxRelaunches: 8,
+	}
+}
+
+// Recovery records one job restart.
+type Recovery struct {
+	FailedAt    simnet.Time
+	AbortedAt   simnet.Time
+	RelaunchAt  simnet.Time // when the new job's ranks begin executing
+	FailedRanks []int
+}
+
+// Duration is the MPI recovery time: from the failure to the moment the
+// redeployed ranks start running again.
+func (r Recovery) Duration() simnet.Time { return r.RelaunchAt - r.FailedAt }
+
+// Supervisor relaunches a job until it completes without a failure.
+type Supervisor struct {
+	cluster *simnet.Cluster
+	cfg     Config
+	n       int
+	nodes   []int
+	main    func(*mpi.Rank)
+
+	// Jobs lists every launched incarnation, newest last.
+	Jobs []*mpi.Job
+	// Recoveries lists the restarts performed.
+	Recoveries []Recovery
+	// GaveUp is set when MaxRelaunches was exhausted.
+	GaveUp bool
+
+	restarting bool
+	exitedOK   int
+	done       bool
+}
+
+// Supervise launches an n-rank job running main under restart supervision
+// and returns the supervisor; drive the cluster's scheduler to completion
+// afterwards. Block placement mirrors mpi.Launch.
+func Supervise(c *simnet.Cluster, cfg Config, n int, startDelay simnet.Time, main func(*mpi.Rank)) *Supervisor {
+	def := DefaultConfig()
+	if cfg.DetectDelay == 0 {
+		cfg.DetectDelay = def.DetectDelay
+	}
+	if cfg.TeardownDelay == 0 {
+		cfg.TeardownDelay = def.TeardownDelay
+	}
+	if cfg.LaunchBase == 0 {
+		cfg.LaunchBase = def.LaunchBase
+	}
+	if cfg.LaunchPerProc == 0 {
+		cfg.LaunchPerProc = def.LaunchPerProc
+	}
+	if cfg.MaxRelaunches == 0 {
+		cfg.MaxRelaunches = def.MaxRelaunches
+	}
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i * c.NumNodes() / n
+	}
+	s := &Supervisor{cluster: c, cfg: cfg, n: n, nodes: nodes, main: main}
+	s.launch(startDelay)
+	return s
+}
+
+// Done reports whether a job incarnation completed with every rank exiting
+// normally.
+func (s *Supervisor) Done() bool { return s.done }
+
+// CurrentJob returns the newest incarnation.
+func (s *Supervisor) CurrentJob() *mpi.Job { return s.Jobs[len(s.Jobs)-1] }
+
+func (s *Supervisor) launch(delay simnet.Time) {
+	s.restarting = false
+	s.exitedOK = 0
+	job := mpi.LaunchPlaced(s.cluster, s.nodes, delay, s.main)
+	if s.cfg.OnLaunch != nil {
+		s.cfg.OnLaunch(job)
+	}
+	s.Jobs = append(s.Jobs, job)
+	for _, p := range job.World().Members() {
+		p := p
+		p.SimProc().OnExit(func(sp *simnet.Proc) {
+			s.onExit(job, p, sp)
+		})
+	}
+}
+
+func (s *Supervisor) onExit(job *mpi.Job, p *mpi.Process, sp *simnet.Proc) {
+	if job != s.CurrentJob() {
+		return // stale incarnation
+	}
+	switch sp.Status() {
+	case simnet.ExitOK:
+		s.exitedOK++
+		if s.exitedOK == s.n {
+			s.done = true
+		}
+	case simnet.ExitKilled:
+		if s.restarting || job.Aborted() {
+			return // kills caused by our own teardown
+		}
+		s.restarting = true
+		failedAt := sp.Now()
+		failedRank := job.World().RankOf(p.GID())
+		sched := s.cluster.Scheduler()
+		// The launcher notices, aborts the job, and redeploys.
+		sched.After(s.cfg.DetectDelay, func() {
+			abortedAt := s.cluster.Now()
+			job.Abort()
+			if len(s.Recoveries) >= s.cfg.MaxRelaunches {
+				s.GaveUp = true
+				return
+			}
+			relaunchDelay := s.cfg.TeardownDelay + s.cfg.LaunchBase +
+				simnet.Time(s.n)*s.cfg.LaunchPerProc
+			s.Recoveries = append(s.Recoveries, Recovery{
+				FailedAt:    failedAt,
+				AbortedAt:   abortedAt,
+				RelaunchAt:  abortedAt + relaunchDelay,
+				FailedRanks: []int{failedRank},
+			})
+			s.launch(relaunchDelay)
+		})
+	}
+}

@@ -1,0 +1,258 @@
+// Package rs implements Reed–Solomon erasure coding over GF(2^8), the
+// encoding FTI's L3 checkpointing level uses to survive the loss of up to
+// half the nodes in an encoding group (Bautista-Gomez et al., SC'11).
+//
+// The code is systematic: k data shards are stored verbatim and m parity
+// shards are produced from a Cauchy matrix, which guarantees that any k of
+// the k+m shards reconstruct the originals.
+package rs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GF(2^8) arithmetic with the 0x11d primitive polynomial.
+
+var (
+	gfExp [512]byte
+	gfLog [256]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("rs: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]-gfLog[b]+255]
+}
+
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// Code is an (k data, m parity) erasure code.
+type Code struct {
+	k, m   int
+	parity [][]byte // m x k Cauchy coefficients
+}
+
+// New builds a code with k data shards and m parity shards. k+m must not
+// exceed 128 so the Cauchy construction has distinct points.
+func New(k, m int) (*Code, error) {
+	if k <= 0 || m < 0 || k+m > 128 {
+		return nil, fmt.Errorf("rs: invalid geometry k=%d m=%d", k, m)
+	}
+	// Cauchy matrix: rows indexed by x_i = k+i, columns by y_j = j, entry
+	// 1/(x_i XOR y_j). All points distinct => every square submatrix of the
+	// stacked [I; C] matrix is invertible.
+	c := &Code{k: k, m: m, parity: make([][]byte, m)}
+	for i := 0; i < m; i++ {
+		c.parity[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			c.parity[i][j] = gfInv(byte(k+i) ^ byte(j))
+		}
+	}
+	return c, nil
+}
+
+// K returns the number of data shards.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Code) M() int { return c.m }
+
+// Encode computes the m parity shards for k equal-length data shards.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("rs: got %d data shards, want %d", len(data), c.k)
+	}
+	size := len(data[0])
+	for _, d := range data {
+		if len(d) != size {
+			return nil, errors.New("rs: data shards have unequal lengths")
+		}
+	}
+	out := make([][]byte, c.m)
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			coef := c.parity[i][j]
+			if coef == 0 {
+				continue
+			}
+			src := data[j]
+			for b := 0; b < size; b++ {
+				p[b] ^= gfMul(coef, src[b])
+			}
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Reconstruct fills in missing (nil) shards. shards must have length k+m:
+// the k data shards followed by the m parity shards. At least k shards must
+// be present. On success every data shard is non-nil (parity shards are
+// also recomputed if missing).
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("rs: got %d shards, want %d", len(shards), c.k+c.m)
+	}
+	present := 0
+	size := -1
+	for _, s := range shards {
+		if s != nil {
+			present++
+			if size == -1 {
+				size = len(s)
+			} else if len(s) != size {
+				return errors.New("rs: present shards have unequal lengths")
+			}
+		}
+	}
+	if present < c.k {
+		return fmt.Errorf("rs: only %d shards present, need %d", present, c.k)
+	}
+	// Row i of the full generator G (size (k+m) x k): identity for i<k,
+	// parity coefficients for i>=k. Pick the first k present shards, invert
+	// the corresponding k x k submatrix, and multiply.
+	rows := make([]int, 0, c.k)
+	for i := range shards {
+		if shards[i] != nil {
+			rows = append(rows, i)
+			if len(rows) == c.k {
+				break
+			}
+		}
+	}
+	sub := make([][]byte, c.k)
+	for r, i := range rows {
+		sub[r] = make([]byte, c.k)
+		if i < c.k {
+			sub[r][i] = 1
+		} else {
+			copy(sub[r], c.parity[i-c.k])
+		}
+	}
+	inv, err := invertMatrix(sub)
+	if err != nil {
+		return err
+	}
+	// data[j] = sum_r inv[j][r] * shards[rows[r]]
+	data := make([][]byte, c.k)
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			data[j] = shards[j]
+			continue
+		}
+		d := make([]byte, size)
+		for r := 0; r < c.k; r++ {
+			coef := inv[j][r]
+			if coef == 0 {
+				continue
+			}
+			src := shards[rows[r]]
+			for b := 0; b < size; b++ {
+				d[b] ^= gfMul(coef, src[b])
+			}
+		}
+		data[j] = d
+	}
+	copy(shards, data)
+	// Recompute any missing parity from the (now complete) data.
+	needParity := false
+	for i := c.k; i < c.k+c.m; i++ {
+		if shards[i] == nil {
+			needParity = true
+		}
+	}
+	if needParity {
+		par, err := c.Encode(shards[:c.k])
+		if err != nil {
+			return err
+		}
+		for i := 0; i < c.m; i++ {
+			if shards[c.k+i] == nil {
+				shards[c.k+i] = par[i]
+			}
+		}
+	}
+	return nil
+}
+
+// invertMatrix inverts a square GF(256) matrix via Gauss–Jordan.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	a := make([][]byte, n)
+	inv := make([][]byte, n)
+	for i := range m {
+		a[i] = append([]byte(nil), m[i]...)
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errors.New("rs: singular matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		// Scale pivot row.
+		pv := gfInv(a[col][col])
+		for j := 0; j < n; j++ {
+			a[col][j] = gfMul(a[col][j], pv)
+			inv[col][j] = gfMul(inv[col][j], pv)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < n; j++ {
+				a[r][j] ^= gfMul(f, a[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Pad returns b zero-padded to size (a copy if padding is needed).
+func Pad(b []byte, size int) []byte {
+	if len(b) >= size {
+		return b
+	}
+	out := make([]byte, size)
+	copy(out, b)
+	return out
+}

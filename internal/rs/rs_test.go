@@ -1,0 +1,178 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Multiplicative inverses and distributivity on a sample of the field.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("inv(%d) broken", a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity broken at %d %d %d", a, b, c)
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity broken at %d %d", a, b)
+		}
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {-1, 2}, {100, 100}, {5, -1}} {
+		if _, err := New(g[0], g[1]); err == nil {
+			t.Fatalf("New(%d,%d) succeeded", g[0], g[1])
+		}
+	}
+}
+
+func makeShards(rng *rand.Rand, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	k, m := 4, 4
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	data := makeShards(rng, k, 128)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+
+	// Erase every subset of exactly m shards; reconstruction must succeed
+	// and reproduce the data exactly.
+	n := k + m
+	var patterns [][]int
+	var gen func(start int, cur []int)
+	gen = func(start int, cur []int) {
+		if len(cur) == m {
+			patterns = append(patterns, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			gen(i+1, append(cur, i))
+		}
+	}
+	gen(0, nil)
+	for _, pat := range patterns {
+		shards := make([][]byte, n)
+		for i := range full {
+			shards[i] = append([]byte(nil), full[i]...)
+		}
+		for _, e := range pat {
+			shards[e] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("pattern %v: %v", pat, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("pattern %v: data shard %d mismatch", pat, i)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if !bytes.Equal(shards[k+i], parity[i]) {
+				t.Fatalf("pattern %v: parity shard %d mismatch", pat, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := New(4, 2)
+	rng := rand.New(rand.NewSource(3))
+	data := makeShards(rng, 4, 32)
+	parity, _ := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[1], shards[2] = nil, nil, nil // 3 erasures > m=2
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruction succeeded with too few shards")
+	}
+}
+
+func TestEncodeRejectsUnequalLengths(t *testing.T) {
+	c, _ := New(2, 1)
+	if _, err := c.Encode([][]byte{make([]byte, 4), make([]byte, 5)}); err == nil {
+		t.Fatal("unequal shard lengths accepted")
+	}
+}
+
+// Property: for random geometry, payloads, and erasure patterns of up to m
+// shards, reconstruction recovers all data shards exactly.
+func TestReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		size := 1 + rng.Intn(256)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		data := makeShards(rng, k, size)
+		parity, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		shards := append(append([][]byte{}, data...), parity...)
+		// Erase a random subset of size <= m.
+		erase := rng.Perm(k + m)[:rng.Intn(m+1)]
+		for _, e := range erase {
+			shards[e] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPad(t *testing.T) {
+	b := []byte{1, 2, 3}
+	p := Pad(b, 5)
+	if len(p) != 5 || p[0] != 1 || p[4] != 0 {
+		t.Fatalf("pad = %v", p)
+	}
+	if &Pad(b, 3)[0] != &b[0] {
+		t.Fatal("pad copied unnecessarily")
+	}
+}
+
+func BenchmarkEncode4x2_64KB(b *testing.B) {
+	c, _ := New(4, 2)
+	rng := rand.New(rand.NewSource(1))
+	data := makeShards(rng, 4, 64<<10)
+	b.SetBytes(4 * 64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package simnet
+
+import "fmt"
+
+// wake carries the reason a parked process is being resumed.
+type wake struct {
+	kill   bool
+	signal any // non-nil: deliver as a panic value (runtime-level unwinding)
+}
+
+// Killed is the panic value unwound through a simulated process when it is
+// killed by fault injection or a node failure. Runtime layers (Reinit, the
+// job launcher) recover it at the rank boundary.
+type Killed struct{ ProcID int }
+
+func (k Killed) Error() string { return fmt.Sprintf("simnet: process %d killed", k.ProcID) }
+
+// ExitStatus describes how a simulated process terminated.
+type ExitStatus int
+
+const (
+	// ExitOK means the process body returned normally.
+	ExitOK ExitStatus = iota
+	// ExitKilled means the process was destroyed by fault injection.
+	ExitKilled
+	// ExitPanic means the process body panicked with an application error.
+	ExitPanic
+)
+
+// Proc is a simulated OS process pinned to a node. Its body runs on a
+// dedicated goroutine but only while the scheduler has handed it control;
+// it yields back at every virtual-time-consuming call.
+//
+// Every park records a generation number; scheduled wakeups capture the
+// generation they intend to resume and become no-ops if the process has
+// been resumed by other means in the meantime (e.g. a runtime signal
+// unwound it out of a sleep). This prevents stale timers from corrupting
+// the process's timeline after recovery.
+type Proc struct {
+	ID   int
+	c    *Cluster
+	node *Node
+
+	resume  chan wake
+	yielded chan struct{}
+
+	dead     bool
+	started  bool
+	exited   bool
+	status   ExitStatus
+	panicVal any
+
+	parked bool
+	gen    uint64
+	onExit []func(*Proc)
+}
+
+// StartProc creates a process on the given node and schedules its body to
+// begin at the current virtual time plus delay.
+func (c *Cluster) StartProc(node int, delay Time, body func(*Proc)) *Proc {
+	p := &Proc{
+		ID:      c.next,
+		c:       c,
+		node:    c.nodes[node],
+		resume:  make(chan wake),
+		yielded: make(chan struct{}),
+	}
+	c.next++
+	c.procs[p.ID] = p
+	go p.top(body)
+	c.sched.After(delay, func() {
+		if p.dead || p.exited {
+			return
+		}
+		p.started = true
+		p.dispatch(wake{})
+	})
+	return p
+}
+
+// top is the goroutine body: it waits for the first dispatch, runs the user
+// body, and translates panics into exit statuses.
+func (p *Proc) top(body func(*Proc)) {
+	w := <-p.resume
+	defer func() {
+		r := recover()
+		p.exited = true
+		switch v := r.(type) {
+		case nil:
+			p.status = ExitOK
+		case Killed:
+			p.status = ExitKilled
+		default:
+			p.status = ExitPanic
+			p.panicVal = v
+		}
+		for _, f := range p.onExit {
+			f(p)
+		}
+		p.yielded <- struct{}{}
+	}()
+	if w.kill {
+		panic(Killed{ProcID: p.ID})
+	}
+	body(p)
+}
+
+// dispatch hands control to the process goroutine and waits for it to yield
+// again. Must only be called from the scheduler context.
+func (p *Proc) dispatch(w wake) {
+	p.parked = false
+	p.gen++
+	p.resume <- w
+	<-p.yielded
+}
+
+// park yields control back to the scheduler and blocks until resumed.
+func (p *Proc) park() wake {
+	p.parked = true
+	p.yielded <- struct{}{}
+	w := <-p.resume
+	if w.kill {
+		panic(Killed{ProcID: p.ID})
+	}
+	if w.signal != nil {
+		panic(w.signal)
+	}
+	return w
+}
+
+// Cluster returns the owning cluster.
+func (p *Proc) Cluster() *Cluster { return p.c }
+
+// Node returns the node this process runs on.
+func (p *Proc) Node() *Node { return p.node }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.c.sched.Now() }
+
+// Dead reports whether the process has been killed.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Exited reports whether the process body has finished.
+func (p *Proc) Exited() bool { return p.exited }
+
+// Status returns how the process terminated (valid once Exited).
+func (p *Proc) Status() ExitStatus { return p.status }
+
+// PanicValue returns the panic payload when Status is ExitPanic.
+func (p *Proc) PanicValue() any { return p.panicVal }
+
+// OnExit registers a callback invoked (in scheduler context) when the
+// process body terminates for any reason.
+func (p *Proc) OnExit(f func(*Proc)) { p.onExit = append(p.onExit, f) }
+
+// wakeAt schedules a resume at time t for the park of generation g.
+func (p *Proc) wakeAt(t Time, g uint64) {
+	p.c.sched.At(t, func() {
+		if p.dead || p.exited || !p.parked || p.gen != g {
+			return
+		}
+		p.dispatch(wake{})
+	})
+}
+
+// Sleep advances this process's virtual time by d. It models both sleeping
+// and computing (the caller is descheduled either way).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.wakeAt(p.Now()+d, p.gen)
+	p.park()
+}
+
+// Compute charges d nanoseconds of virtual CPU time to the process.
+func (p *Proc) Compute(d Time) { p.Sleep(d) }
+
+// Yield lets all events at the current instant fire before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Block parks the process indefinitely; something else must call Unblock
+// (or Kill/Signal). Used by the messaging layer for condition waits.
+// Spurious wakeups are possible; callers must re-check their condition.
+func (p *Proc) Block() {
+	p.park()
+}
+
+// Unblock schedules a resume of a Block()ed process at time t (clamped to
+// now). Must be called while the process is parked; the wake is dropped if
+// the process has been resumed by other means before t.
+func (p *Proc) Unblock(t Time) {
+	if !p.parked {
+		return
+	}
+	p.wakeAt(t, p.gen)
+}
+
+// Signal forces the process to panic with v at time t (clamped to now).
+// This models runtime-level preemption: Reinit's global reset unwinding a
+// rank out of whatever it was doing, like the longjmp in the paper's
+// Figure 3. The panic is delivered whether the process is sleeping,
+// computing, or blocked; it is dropped if the process exits first.
+func (p *Proc) Signal(t Time, v any) {
+	p.c.sched.At(t, func() {
+		if p.dead || p.exited || !p.started {
+			return
+		}
+		p.dispatch(wake{signal: v})
+	})
+}
+
+// Kill destroys the process at the current virtual time: a fail-stop
+// process failure, as delivered by the fault injector or a node failure.
+// Must be called from scheduler context (the process is parked).
+func (p *Proc) Kill() {
+	if p.dead || p.exited {
+		return
+	}
+	p.dead = true
+	if !p.started {
+		p.exited = true
+		p.status = ExitKilled
+		return
+	}
+	p.dispatch(wake{kill: true})
+}
+
+// Die terminates the calling process immediately, from its own goroutine.
+// This is the simulation analog of raise(SIGTERM) in Figure 4 of the paper.
+func (p *Proc) Die() {
+	p.dead = true
+	panic(Killed{ProcID: p.ID})
+}
+
+// Procs returns all processes ever started, in id order.
+func (c *Cluster) Procs() []*Proc {
+	out := make([]*Proc, 0, len(c.procs))
+	for i := 0; i < c.next; i++ {
+		if p, ok := c.procs[i]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

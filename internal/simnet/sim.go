@@ -1,0 +1,307 @@
+// Package simnet provides a deterministic discrete-event simulation of an
+// HPC cluster: a virtual clock, an event scheduler, compute nodes with
+// serializing network interfaces, and cooperative simulated processes.
+//
+// All higher layers (the simulated MPI runtime, the FTI checkpointing
+// library, the recovery frameworks, and the proxy applications) run on top
+// of this package. Exactly one simulated process executes at any instant;
+// control is handed between the scheduler and process goroutines over
+// unbuffered channels, so the simulation is deterministic and free of data
+// races by construction.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Common durations, as virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders t as seconds with millisecond precision, e.g. "12.345s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps runs reproducible.
+type event struct {
+	t     Time
+	seq   uint64
+	fire  func()
+	index int
+	dead  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the event queue.
+type Scheduler struct {
+	now     Time
+	q       eventHeap
+	seq     uint64
+	running bool
+	maxTime Time // 0 means unlimited
+	stopped bool
+}
+
+// NewScheduler returns an empty scheduler at virtual time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// SetDeadline aborts Run once virtual time exceeds d (a safety net against
+// livelock in buggy protocols). Zero disables the deadline.
+func (s *Scheduler) SetDeadline(d Time) { s.maxTime = d }
+
+// At schedules fn to run at virtual time t (clamped to now). The returned
+// cancel function removes the event if it has not fired.
+func (s *Scheduler) At(t Time, fn func()) (cancel func()) {
+	if t < s.now {
+		t = s.now
+	}
+	e := &event{t: t, seq: s.seq, fire: fn}
+	s.seq++
+	heap.Push(&s.q, e)
+	return func() { e.dead = true }
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (s *Scheduler) After(d Time, fn func()) (cancel func()) {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run fires events in time order until the queue drains, Stop is called, or
+// the deadline passes. It returns the final virtual time.
+func (s *Scheduler) Run() Time {
+	s.running = true
+	defer func() { s.running = false }()
+	for s.q.Len() > 0 && !s.stopped {
+		e := heap.Pop(&s.q).(*event)
+		if e.dead {
+			continue
+		}
+		if s.maxTime > 0 && e.t > s.maxTime {
+			panic(fmt.Sprintf("simnet: virtual deadline %v exceeded (event at %v); likely deadlock or livelock", s.maxTime, e.t))
+		}
+		if e.t > s.now {
+			s.now = e.t
+		}
+		e.fire()
+	}
+	return s.now
+}
+
+// Pending reports the number of events that have not fired.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.q {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Config describes the simulated cluster hardware. The defaults approximate
+// the paper's testbed: 32 dual-socket Haswell nodes with a fat-tree
+// interconnect, node-local storage, and a parallel file system.
+type Config struct {
+	Nodes        int     // number of compute nodes
+	CoresPerNode int     // informational; procs beyond this share the node
+	InterLatency Time    // one-way network latency between nodes
+	IntraLatency Time    // latency between procs on one node (shared memory)
+	InterBWBps   float64 // inter-node NIC bandwidth, bytes per second
+	IntraBWBps   float64 // intra-node copy bandwidth, bytes per second
+	SendOverhead Time    // per-message CPU cost on the sender
+	RecvOverhead Time    // per-message CPU cost on the receiver
+}
+
+// DefaultConfig mirrors the paper's cluster at §V-A: 32 nodes, 28 cores per
+// node, EDR-class interconnect.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        32,
+		CoresPerNode: 28,
+		InterLatency: 2 * Microsecond,
+		IntraLatency: 500 * Nanosecond,
+		InterBWBps:   10e9, // 10 GB/s
+		IntraBWBps:   40e9, // 40 GB/s
+		SendOverhead: 300 * Nanosecond,
+		RecvOverhead: 300 * Nanosecond,
+	}
+}
+
+// Node is one compute node. Its NIC serializes egress traffic: concurrent
+// sends queue behind each other, which is how background protocol traffic
+// (e.g. ULFM heartbeats) slows applications down in this model.
+type Node struct {
+	ID      int
+	nicFree Time // time at which the egress NIC becomes idle
+	alive   bool
+}
+
+// Alive reports whether the node has not suffered a node failure.
+func (n *Node) Alive() bool { return n.alive }
+
+// Cluster combines the scheduler, the node set, and the process table.
+type Cluster struct {
+	cfg   Config
+	sched *Scheduler
+	nodes []*Node
+	procs map[int]*Proc
+	next  int // next process id
+}
+
+// NewCluster builds a cluster with cfg (zero fields replaced by defaults).
+func NewCluster(cfg Config) *Cluster {
+	def := DefaultConfig()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = def.Nodes
+	}
+	if cfg.CoresPerNode == 0 {
+		cfg.CoresPerNode = def.CoresPerNode
+	}
+	if cfg.InterLatency == 0 {
+		cfg.InterLatency = def.InterLatency
+	}
+	if cfg.IntraLatency == 0 {
+		cfg.IntraLatency = def.IntraLatency
+	}
+	if cfg.InterBWBps == 0 {
+		cfg.InterBWBps = def.InterBWBps
+	}
+	if cfg.IntraBWBps == 0 {
+		cfg.IntraBWBps = def.IntraBWBps
+	}
+	if cfg.SendOverhead == 0 {
+		cfg.SendOverhead = def.SendOverhead
+	}
+	if cfg.RecvOverhead == 0 {
+		cfg.RecvOverhead = def.RecvOverhead
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		sched: NewScheduler(),
+		procs: make(map[int]*Proc),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, &Node{ID: i, alive: true})
+	}
+	return c
+}
+
+// Config returns the cluster hardware description.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Scheduler exposes the event scheduler (used by runtime components that
+// need timers, e.g. heartbeat detectors).
+func (c *Cluster) Scheduler() *Scheduler { return c.sched }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() Time { return c.sched.Now() }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Run drives the simulation to completion and returns the final time.
+func (c *Cluster) Run() Time { return c.sched.Run() }
+
+// FailNode marks a node dead and kills every live process on it. RAMFS
+// contents on the node are lost by the storage layer, which consults
+// Node.Alive.
+func (c *Cluster) FailNode(id int) {
+	n := c.nodes[id]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	// Deterministic kill order.
+	var victims []*Proc
+	for _, p := range c.procs {
+		if p.node == n && !p.dead {
+			victims = append(victims, p)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	for _, p := range victims {
+		p.Kill()
+	}
+}
+
+// transferCost returns the NIC departure and arrival times for a message of
+// size bytes from node f to node t, issued at virtual time now. It mutates
+// the sender NIC's busy horizon, which is what creates queueing delay.
+func (c *Cluster) transferCost(f, t *Node, size int, now Time) (depart, arrive Time) {
+	var lat Time
+	var bw float64
+	if f == t {
+		lat, bw = c.cfg.IntraLatency, c.cfg.IntraBWBps
+	} else {
+		lat, bw = c.cfg.InterLatency, c.cfg.InterBWBps
+	}
+	xfer := Time(float64(size) / bw * 1e9)
+	depart = now
+	if f != t {
+		if f.nicFree > depart {
+			depart = f.nicFree
+		}
+		f.nicFree = depart + xfer
+	}
+	arrive = depart + xfer + lat
+	return depart, arrive
+}
+
+// SendArrival computes (and charges to the sender's NIC) the arrival time of
+// a message of size bytes from node from to node to, sent at virtual now.
+func (c *Cluster) SendArrival(from, to int, size int, now Time) Time {
+	_, arrive := c.transferCost(c.nodes[from], c.nodes[to], size, now)
+	return arrive
+}

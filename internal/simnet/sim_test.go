@@ -1,0 +1,348 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdersEvents(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 30 {
+		t.Fatalf("end time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerTieBreakFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	cancel := s.At(10, func() { fired = true })
+	cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var hits []Time
+	s.At(10, func() {
+		hits = append(hits, s.Now())
+		s.After(5, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := NewScheduler()
+	var at Time = -1
+	s.At(100, func() {
+		s.At(10, func() { at = s.Now() }) // in the past; must clamp to now
+	})
+	s.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamped to 100", at)
+	}
+}
+
+func TestSchedulerDeadline(t *testing.T) {
+	s := NewScheduler()
+	s.SetDeadline(50)
+	s.At(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadline panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.500s" {
+		t.Fatalf("String() = %q", got)
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds conversion wrong")
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	var times []Time
+	c.StartProc(0, 0, func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(100)
+		times = append(times, p.Now())
+		p.Compute(50)
+		times = append(times, p.Now())
+	})
+	c.Run()
+	if len(times) != 3 || times[0] != 0 || times[1] != 100 || times[2] != 150 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		c := NewCluster(Config{Nodes: 2})
+		var order []int
+		for i := 0; i < 4; i++ {
+			i := i
+			c.StartProc(i%2, 0, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(Time(10 * (i + 1)))
+					order = append(order, i)
+				}
+			})
+		}
+		c.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("expected 12 steps, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleaving: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestProcKillWhileSleeping(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	reached := false
+	p := c.StartProc(0, 0, func(p *Proc) {
+		p.Sleep(1000)
+		reached = true
+	})
+	c.Scheduler().At(500, func() { p.Kill() })
+	c.Run()
+	if reached {
+		t.Fatal("killed process kept running")
+	}
+	if !p.Exited() || p.Status() != ExitKilled {
+		t.Fatalf("status = %v, want ExitKilled", p.Status())
+	}
+}
+
+func TestProcKillBeforeStart(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	ran := false
+	p := c.StartProc(0, 100, func(p *Proc) { ran = true })
+	c.Scheduler().At(10, func() { p.Kill() })
+	c.Run()
+	if ran {
+		t.Fatal("process ran after being killed before start")
+	}
+	if p.Status() != ExitKilled {
+		t.Fatalf("status = %v, want ExitKilled", p.Status())
+	}
+}
+
+func TestProcDieUnwinds(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	after := false
+	p := c.StartProc(0, 0, func(p *Proc) {
+		p.Sleep(10)
+		p.Die()
+		after = true
+	})
+	c.Run()
+	if after {
+		t.Fatal("Die did not unwind")
+	}
+	if p.Status() != ExitKilled {
+		t.Fatalf("status = %v, want ExitKilled", p.Status())
+	}
+}
+
+// A runtime signal must unwind the process out of a sleep, and the stale
+// sleep timer must NOT later resume the process early from a new park.
+func TestSignalCancelsStaleTimer(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	type reset struct{}
+	var resumedAt Time
+	p := c.StartProc(0, 0, func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(reset); !ok {
+					panic(r)
+				}
+				// Recovered: park again until t=300. The stale timer from
+				// the interrupted sleep (t=100) must not wake us.
+				p.Sleep(300 - p.Now())
+				resumedAt = p.Now()
+			}
+		}()
+		p.Sleep(100) // interrupted at t=50
+		t.Error("sleep returned normally despite signal")
+	})
+	p.Signal(50, reset{})
+	c.Run()
+	if resumedAt != 300 {
+		t.Fatalf("resumed at %v, want 300 (stale timer fired?)", resumedAt)
+	}
+}
+
+func TestSignalDroppedAfterExit(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	p := c.StartProc(0, 0, func(p *Proc) { p.Sleep(10) })
+	p.Signal(100, "late")
+	c.Run()
+	if p.Status() != ExitOK {
+		t.Fatalf("status = %v, want ExitOK", p.Status())
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	var wokeAt Time
+	p := c.StartProc(0, 0, func(p *Proc) {
+		p.Block()
+		wokeAt = p.Now()
+	})
+	c.Scheduler().At(70, func() { p.Unblock(90) })
+	c.Run()
+	if wokeAt != 90 {
+		t.Fatalf("woke at %v, want 90", wokeAt)
+	}
+}
+
+func TestOnExitRuns(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1})
+	exits := 0
+	p := c.StartProc(0, 0, func(p *Proc) { p.Sleep(5) })
+	p.OnExit(func(*Proc) { exits++ })
+	q := c.StartProc(0, 0, func(p *Proc) { p.Sleep(50) })
+	q.OnExit(func(*Proc) { exits++ })
+	c.Scheduler().At(20, func() { q.Kill() })
+	c.Run()
+	if exits != 2 {
+		t.Fatalf("exits = %d, want 2 (normal and killed)", exits)
+	}
+}
+
+func TestNodeFailureKillsResidents(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2})
+	var survived []int
+	for i := 0; i < 4; i++ {
+		i := i
+		c.StartProc(i%2, 0, func(p *Proc) {
+			p.Sleep(1000)
+			survived = append(survived, i)
+		})
+	}
+	c.Scheduler().At(100, func() { c.FailNode(0) })
+	c.Run()
+	if c.Node(0).Alive() {
+		t.Fatal("node 0 still alive")
+	}
+	if len(survived) != 2 {
+		t.Fatalf("survivors = %v, want the two procs on node 1", survived)
+	}
+	for _, i := range survived {
+		if i%2 != 1 {
+			t.Fatalf("proc %d on failed node survived", i)
+		}
+	}
+}
+
+func TestNICSerializesEgress(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2, InterLatency: 10, InterBWBps: 1e9}) // 1 byte/ns
+	// Two back-to-back 1000-byte messages from node 0: the second must queue
+	// behind the first on the NIC.
+	a1 := c.SendArrival(0, 1, 1000, 0)
+	a2 := c.SendArrival(0, 1, 1000, 0)
+	if a1 != 1010 {
+		t.Fatalf("first arrival = %v, want 1010", a1)
+	}
+	if a2 != 2010 {
+		t.Fatalf("second arrival = %v, want 2010 (NIC queueing)", a2)
+	}
+}
+
+func TestIntraNodeBypassesNIC(t *testing.T) {
+	c := NewCluster(Config{Nodes: 1, IntraLatency: 5, IntraBWBps: 1e9})
+	a1 := c.SendArrival(0, 0, 1000, 0)
+	a2 := c.SendArrival(0, 0, 1000, 0)
+	if a1 != 1005 || a2 != 1005 {
+		t.Fatalf("intra-node arrivals = %v, %v; want both 1005", a1, a2)
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	c := NewCluster(Config{})
+	def := DefaultConfig()
+	if c.Config().Nodes != def.Nodes || c.Config().InterBWBps != def.InterBWBps {
+		t.Fatalf("defaults not applied: %+v", c.Config())
+	}
+	if c.NumNodes() != def.Nodes {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+// Property: arrival time is monotonic in issue time and size, and never
+// before issue + latency.
+func TestSendArrivalProperties(t *testing.T) {
+	f := func(sz uint16, at uint32) bool {
+		c := NewCluster(Config{Nodes: 2})
+		now := Time(at)
+		arr := c.SendArrival(0, 1, int(sz), now)
+		return arr >= now+c.Config().InterLatency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: virtual clock never goes backwards across arbitrary event sets.
+func TestClockMonotonic(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		last := Time(-1)
+		ok := true
+		for _, off := range offsets {
+			s.At(Time(off), func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

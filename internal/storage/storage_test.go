@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"match/internal/simnet"
+)
+
+func withProc(t *testing.T, nodes int, body func(c *simnet.Cluster, s *System, p *simnet.Proc)) {
+	t.Helper()
+	c := simnet.NewCluster(simnet.Config{Nodes: nodes})
+	s := New(c, Config{})
+	c.StartProc(0, 0, func(p *simnet.Proc) { body(c, s, p) })
+	c.Run()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	withProc(t, 2, func(c *simnet.Cluster, s *System, p *simnet.Proc) {
+		for _, tier := range []Tier{RAMFS, SSD, PFS} {
+			if err := s.Write(p, tier, 0, "a/b", []byte("payload")); err != nil {
+				t.Errorf("%v write: %v", tier, err)
+				continue
+			}
+			got, err := s.Read(p, tier, 0, "a/b")
+			if err != nil || string(got) != "payload" {
+				t.Errorf("%v read: %q %v", tier, got, err)
+			}
+			if !s.Exists(tier, 0, "a/b") {
+				t.Errorf("%v exists false", tier)
+			}
+			if s.Size(tier, 0, "a/b") != 7 {
+				t.Errorf("%v size = %d", tier, s.Size(tier, 0, "a/b"))
+			}
+			s.Delete(tier, 0, "a/b")
+			if _, err := s.Read(p, tier, 0, "a/b"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("%v read-after-delete: %v", tier, err)
+			}
+		}
+	})
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	withProc(t, 1, func(c *simnet.Cluster, s *System, p *simnet.Proc) {
+		buf := []byte{1, 2, 3}
+		s.Write(p, RAMFS, 0, "x", buf)
+		buf[0] = 99
+		got, _ := s.Read(p, RAMFS, 0, "x")
+		if got[0] != 1 {
+			t.Error("storage aliased caller's buffer")
+		}
+	})
+}
+
+func TestTierSpeedOrdering(t *testing.T) {
+	withProc(t, 1, func(c *simnet.Cluster, s *System, p *simnet.Proc) {
+		data := make([]byte, 1<<20)
+		times := map[Tier]simnet.Time{}
+		for _, tier := range []Tier{RAMFS, SSD} {
+			t0 := p.Now()
+			s.Write(p, tier, 0, "f", data)
+			times[tier] = p.Now() - t0
+		}
+		if times[RAMFS] >= times[SSD] {
+			t.Errorf("ramfs %v not faster than ssd %v", times[RAMFS], times[SSD])
+		}
+	})
+}
+
+func TestPFSContention(t *testing.T) {
+	// Two procs flushing 10 MB each at the same instant: the second finishes
+	// roughly twice as late as a lone writer would.
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	s := New(c, Config{})
+	var done []simnet.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		c.StartProc(i, 0, func(p *simnet.Proc) {
+			s.Write(p, PFS, i, "big", make([]byte, 10<<20))
+			done = append(done, p.Now())
+		})
+	}
+	c.Run()
+	if len(done) != 2 {
+		t.Fatal("procs did not finish")
+	}
+	first, second := done[0], done[1]
+	if second < first {
+		first, second = second, first
+	}
+	// 10 MB at the 20 GB/s aggregate takes 500 µs; the loser queues behind
+	// the winner for one full transfer.
+	xfer := simnet.Time(float64(10<<20) / s.Config().PFSBWBps * 1e9)
+	if second-first < xfer*9/10 {
+		t.Errorf("no PFS contention: first %v second %v (xfer %v)", first, second, xfer)
+	}
+}
+
+func TestNodeFailureLosesLocalTiers(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	s := New(c, Config{})
+	c.StartProc(0, 0, func(p *simnet.Proc) {
+		s.Write(p, RAMFS, 0, "r", []byte("x"))
+		s.Write(p, SSD, 0, "s", []byte("x"))
+		s.Write(p, PFS, 0, "p", []byte("x"))
+	})
+	c.Run()
+	c.FailNode(0)
+	c.StartProc(1, 0, func(p *simnet.Proc) {
+		if _, err := s.Read(p, RAMFS, 0, "r"); !errors.Is(err, ErrNodeDown) {
+			t.Errorf("ramfs on dead node: %v", err)
+		}
+		if _, err := s.Read(p, SSD, 0, "s"); !errors.Is(err, ErrNodeDown) {
+			t.Errorf("ssd on dead node: %v", err)
+		}
+		if _, err := s.Read(p, PFS, 1, "p"); err != nil {
+			t.Errorf("pfs should survive node failure: %v", err)
+		}
+	})
+	c.Run()
+}
+
+func TestRemoteWriteAndRead(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	s := New(c, Config{})
+	c.StartProc(0, 0, func(p *simnet.Proc) {
+		t0 := p.Now()
+		if err := s.WriteRemote(p, RAMFS, 0, 1, "remote", make([]byte, 1<<20)); err != nil {
+			t.Errorf("remote write: %v", err)
+		}
+		remoteCost := p.Now() - t0
+		t1 := p.Now()
+		s.Write(p, RAMFS, 0, "local", make([]byte, 1<<20))
+		localCost := p.Now() - t1
+		if remoteCost <= localCost {
+			t.Errorf("remote write %v not slower than local %v", remoteCost, localCost)
+		}
+		got, err := s.ReadRemote(p, RAMFS, 1, 0, "remote")
+		if err != nil || len(got) != 1<<20 {
+			t.Errorf("remote read: %v len=%d", err, len(got))
+		}
+	})
+	c.Run()
+}
+
+func TestList(t *testing.T) {
+	withProc(t, 1, func(c *simnet.Cluster, s *System, p *simnet.Proc) {
+		s.Write(p, RAMFS, 0, "dir/a", nil)
+		s.Write(p, RAMFS, 0, "dir/b", nil)
+		s.Write(p, RAMFS, 0, "other/c", nil)
+		got := s.List(RAMFS, 0, "dir/")
+		if len(got) != 2 || got[0] != "dir/a" || got[1] != "dir/b" {
+			t.Errorf("list = %v", got)
+		}
+	})
+}
+
+func TestWriteFreeChargesNothing(t *testing.T) {
+	withProc(t, 1, func(c *simnet.Cluster, s *System, p *simnet.Proc) {
+		t0 := p.Now()
+		s.WriteFree(PFS, 0, "free", make([]byte, 1<<24))
+		if p.Now() != t0 {
+			t.Error("WriteFree charged time")
+		}
+		if s.Size(PFS, 0, "free") != 1<<24 {
+			t.Error("WriteFree did not store data")
+		}
+	})
+}

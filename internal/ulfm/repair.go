@@ -1,0 +1,191 @@
+package ulfm
+
+import (
+	"fmt"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+// CommRevoke is MPIX_Comm_revoke: reliably propagate revocation to every
+// member, interrupting all pending communication on the communicator.
+// Idempotent; the first caller pays the flood.
+func (rt *Runtime) CommRevoke(r *mpi.Rank, c *mpi.Comm) {
+	if c.Revoked() {
+		return
+	}
+	cl := rt.job.Cluster()
+	now := r.Now()
+	// Reliable flood: log2(P) forwarding levels of small control messages,
+	// each consuming NIC time on the forwarding nodes.
+	levels := log2ceil(c.Size())
+	for _, m := range c.AliveMembers() {
+		cl.SendArrival(r.Process().NodeID(), m.NodeID(), 32, now)
+	}
+	r.Compute(rt.cfg.RevokeHop * simnet.Time(levels))
+	c.Revoke()
+}
+
+// CommShrink is MPIX_Comm_shrink: build a communicator containing only the
+// surviving members, agreeing on the failed set on the way. All survivors
+// must call it. The daemon-side group rebuild is charged per rank.
+func (rt *Runtime) CommShrink(r *mpi.Rank, c *mpi.Comm) (*mpi.Comm, error) {
+	survivors := c.AliveMembers()
+	key := fmt.Sprintf("ulfm-shrink/%d", c.Ctx())
+	shrunk := rt.job.SubComm(key, survivors)
+	// Daemon-side bookkeeping: grows linearly with job size.
+	r.Compute(rt.cfg.ShrinkBase + rt.cfg.ShrinkPerRank*simnet.Time(c.Size()))
+	// Agree on the failed-rank bitmask (real payload, O(P) bits).
+	words := (c.Size() + 63) / 64
+	mask := make([]int64, words)
+	for _, fr := range c.FailedMembers() {
+		mask[fr/64] |= 1 << (fr % 64)
+	}
+	agreed, err := rt.agree(r, shrunk, mask)
+	if err != nil {
+		return nil, fmt.Errorf("ulfm: shrink agreement: %w", err)
+	}
+	_ = agreed
+	return shrunk, nil
+}
+
+// agree is the fault-tolerant agreement core: an all-reduce of the value
+// (bitwise OR) plus the multi-round cost the ERA agreement pays.
+func (rt *Runtime) agree(r *mpi.Rank, c *mpi.Comm, val []int64) ([]int64, error) {
+	r.Compute(rt.cfg.AgreeRound * simnet.Time(log2ceil(c.Size())))
+	return mpi.AllreduceI64(r, c, val, mpi.OpBOr)
+}
+
+// CommAgree is MPIX_Comm_agree on a single flag value.
+func (rt *Runtime) CommAgree(r *mpi.Rank, c *mpi.Comm, flag int64) (int64, error) {
+	out, err := rt.agree(r, c, []int64{flag})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// CommSpawn is MPI_Comm_spawn for replacement processes: the root of the
+// shrunken communicator launches one replacement per failed rank, on the
+// failed rank's node, running the runtime's replacement entry. Returns the
+// replacements indexed by failed world rank. Non-roots return nil.
+func (rt *Runtime) CommSpawn(r *mpi.Rank, shrunk *mpi.Comm, world *mpi.Comm) map[int]*mpi.Process {
+	if r.Rank(shrunk) != 0 {
+		return nil
+	}
+	cl := rt.job.Cluster()
+	repls := make(map[int]*mpi.Process)
+	for _, fr := range world.FailedMembers() {
+		failed := world.Member(fr)
+		repl := rt.job.AddProcess(failed.NodeID(), nil)
+		repls[fr] = repl
+	}
+	// Replacement bodies start after the spawn delay; their first act is to
+	// synchronize on the repaired world (mirroring the survivors' merge
+	// steps), then enter the resilient loop with restarted=true so they too
+	// can survive later failures.
+	for fr, repl := range repls {
+		fr, repl := fr, repl
+		sp := cl.StartProc(repl.NodeID(), rt.cfg.SpawnDelay, func(sp *simnet.Proc) {
+			rr := mpi.Bind(rt.job, repl, sp)
+			round := rt.rounds[world.Ctx()]
+			nw := round.newWorld
+			if err := rt.joinWorld(rr, nw); err != nil {
+				rt.Errs = append(rt.Errs, fmt.Errorf("ulfm: replacement rank %d join: %w", fr, err))
+				return
+			}
+			if err := rt.resilientLoop(rr, nw, true); err != nil {
+				rt.Errs = append(rt.Errs, fmt.Errorf("ulfm: replacement rank %d: %w", fr, err))
+			}
+		})
+		repl.SetSimProc(sp)
+	}
+	return repls
+}
+
+// joinWorld performs the new-world synchronization steps every member
+// (survivor or replacement) executes in the same order: merge barrier,
+// then the final agreement.
+func (rt *Runtime) joinWorld(r *mpi.Rank, nw *mpi.Comm) error {
+	if err := mpi.Barrier(r, nw); err != nil {
+		return err
+	}
+	_, err := rt.CommAgree(r, nw, 1)
+	return err
+}
+
+// RepairWorld composes the paper's Figure 3 error-handler sequence:
+// revoke the broken world, shrink to survivors, spawn replacements, merge
+// into a same-size world (failed slots refilled), and agree. Every
+// survivor must call it with the same broken communicator; replacements
+// are driven by the runtime. Returns the repaired world.
+func (rt *Runtime) RepairWorld(r *mpi.Rank, world *mpi.Comm) (*mpi.Comm, error) {
+	round, ok := rt.rounds[world.Ctx()]
+	if !ok {
+		round = &repairRound{}
+		// Record failure timing for the recovery-time breakdown.
+		for _, fr := range world.FailedMembers() {
+			gid := world.Member(fr).GID()
+			if t, seen := rt.firstSeen[gid]; seen && (round.failedAt == 0 || t < round.failedAt) {
+				round.failedAt = t
+				round.detected = t + rt.cfg.DetectTimeout
+			}
+		}
+		if round.failedAt == 0 {
+			round.failedAt = r.Now()
+			round.detected = r.Now()
+		}
+		rt.rounds[world.Ctx()] = round
+	}
+
+	// 1. Revoke: interrupt all pending communication on the broken world.
+	rt.CommRevoke(r, world)
+
+	// 2. Shrink: survivors only.
+	shrunk, err := rt.CommShrink(r, world)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Spawn (root of the shrunken comm) and build the merged world:
+	// original ranking with failed slots refilled by replacements.
+	if r.Rank(shrunk) == 0 && round.newWorld == nil {
+		repls := rt.CommSpawn(r, shrunk, world)
+		members := append([]*mpi.Process(nil), world.Members()...)
+		for fr, repl := range repls {
+			members[fr] = repl
+		}
+		round.newWorld = rt.job.NewComm(members)
+	}
+	// Publish the new world to all survivors: a real broadcast over the
+	// shrunken communicator (root already knows it; others learn from the
+	// message, like receiving the intercomm handle).
+	if _, err := mpi.Bcast(r, shrunk, 0, []byte{1}); err != nil {
+		return nil, fmt.Errorf("ulfm: publishing repaired world: %w", err)
+	}
+	nw := round.newWorld
+	if nw == nil {
+		return nil, fmt.Errorf("ulfm: repaired world missing after publish")
+	}
+
+	// 4. Intercomm merge: daemon-side cost grows with job size; the
+	// synchronization with replacements is the join barrier (it completes
+	// only once the spawned processes are up, so SpawnDelay is on the
+	// critical path, as in real deployments).
+	r.Compute(rt.cfg.MergeBase + rt.cfg.MergePerRank*simnet.Time(world.Size()))
+	if err := rt.joinWorld(r, nw); err != nil {
+		return nil, err
+	}
+
+	if !round.completed {
+		round.completed = true
+		rt.Recoveries = append(rt.Recoveries, Recovery{
+			FailedRanks: world.FailedMembers(),
+			FailedAt:    round.failedAt,
+			DetectedAt:  round.detected,
+			CompletedAt: r.Now(),
+		})
+	}
+	rt.world = nw
+	return nw, nil
+}

@@ -1,0 +1,276 @@
+// Package ulfm implements User-Level Fault Mitigation (Bland et al.):
+// MPIX-style communicator revocation, shrink, replacement spawning,
+// intercommunicator merge, and fault-tolerant agreement, plus the runtime
+// side — a ring heartbeat failure detector (Bosilca et al.) and the
+// amended, failure-checking communication path.
+//
+// The package provides both the five ULFM primitives the paper describes
+// (CommRevoke, CommShrink, CommSpawn, IntercommMerge, CommAgree) and the
+// composed global non-shrinking recovery the paper implements on top of
+// them in its Figure 3 (RepairWorld / RunResilient).
+//
+// Cost model: ULFM recovery executes real protocol steps over the
+// simulated network, and the expensive parts (daemon-side shrink
+// bookkeeping, agreement rounds, respawn) carry explicit time constants
+// taken from the ULFM literature's measured magnitudes. Membership
+// payloads are O(P) bytes and agreement runs O(log P) rounds, so recovery
+// time grows with scale — the trend the paper reports — while Reinit's
+// runtime-internal reset does not.
+package ulfm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+// Config tunes the ULFM runtime.
+type Config struct {
+	// HeartbeatPeriod is the ring failure detector's emission period.
+	HeartbeatPeriod simnet.Time
+	// HeartbeatBytes is the size of one heartbeat message on the wire.
+	HeartbeatBytes int
+	// DetectTimeout is the observation window before a silent peer is
+	// declared dead.
+	DetectTimeout simnet.Time
+	// PerOpOverhead is the amended-interface cost added to every
+	// point-to-point operation while ULFM is active.
+	PerOpOverhead simnet.Time
+	// DeliveryFactor inflates message flight time by this fraction,
+	// modeling the interposed progress engine (revoke checks, failure
+	// piggybacking) — the source of ULFM's application slowdown, which
+	// grows with communication share.
+	DeliveryFactor float64
+	// InterferenceSteal is per-process CPU time stolen per heartbeat
+	// period by runtime-level detector collectives, scaled by log2(P).
+	InterferenceSteal simnet.Time
+
+	// RevokeHop is the per-tree-level cost of reliably flooding a revoke.
+	RevokeHop simnet.Time
+	// ShrinkBase + ShrinkPerRank*P is the daemon-side cost of rebuilding
+	// the process group during MPIX_Comm_shrink.
+	ShrinkBase    simnet.Time
+	ShrinkPerRank simnet.Time
+	// AgreeRound is the per-round cost of the fault-tolerant agreement
+	// (log2(P) rounds per agreement).
+	AgreeRound simnet.Time
+	// SpawnDelay is fork/exec plus MPI wire-up of a replacement process.
+	SpawnDelay simnet.Time
+	// MergeBase + MergePerRank*P is the intercommunicator merge cost.
+	MergeBase    simnet.Time
+	MergePerRank simnet.Time
+}
+
+// DefaultConfig holds the calibrated cost model (see DESIGN.md §5/A4 for
+// the ablation that varies these).
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatPeriod:   100 * simnet.Millisecond,
+		HeartbeatBytes:    64,
+		DetectTimeout:     300 * simnet.Millisecond,
+		PerOpOverhead:     2 * simnet.Microsecond,
+		DeliveryFactor:    0.25,
+		InterferenceSteal: 40 * simnet.Microsecond,
+		RevokeHop:         10 * simnet.Millisecond,
+		ShrinkBase:        300 * simnet.Millisecond,
+		ShrinkPerRank:     5 * simnet.Millisecond,
+		AgreeRound:        50 * simnet.Millisecond,
+		SpawnDelay:        800 * simnet.Millisecond,
+		MergeBase:         200 * simnet.Millisecond,
+		MergePerRank:      2 * simnet.Millisecond,
+	}
+}
+
+// Recovery records one completed world repair.
+type Recovery struct {
+	FailedRanks []int
+	FailedAt    simnet.Time
+	DetectedAt  simnet.Time
+	CompletedAt simnet.Time
+}
+
+// Duration is the MPI recovery time for this event.
+func (rec Recovery) Duration() simnet.Time { return rec.CompletedAt - rec.FailedAt }
+
+// repairRound is the shared rendezvous state for repairing one revoked
+// communicator (keyed by its context id).
+type repairRound struct {
+	newWorld  *mpi.Comm
+	failedAt  simnet.Time
+	detected  simnet.Time
+	completed bool
+}
+
+// Runtime is the per-job ULFM runtime: detector plus repair coordination.
+type Runtime struct {
+	job *mpi.Job
+	cfg Config
+	// entry runs a spawned replacement rank once the repaired world is
+	// ready; restarted is always true for replacements.
+	entry func(r *mpi.Rank, world *mpi.Comm, restarted bool) error
+
+	world     *mpi.Comm
+	rounds    map[int]*repairRound
+	firstSeen map[int]simnet.Time
+	stopped   bool
+
+	// Recoveries lists completed repairs.
+	Recoveries []Recovery
+	// Errs collects errors from replacement ranks.
+	Errs []error
+}
+
+// NewRuntime activates ULFM on the job: installs the amended-interface
+// overheads, starts the heartbeat detector, and returns the runtime.
+// entry is the resilient main executed by spawned replacement ranks.
+func NewRuntime(job *mpi.Job, cfg Config, entry func(*mpi.Rank, *mpi.Comm, bool) error) *Runtime {
+	def := DefaultConfig()
+	if cfg.HeartbeatPeriod == 0 {
+		cfg.HeartbeatPeriod = def.HeartbeatPeriod
+	}
+	if cfg.HeartbeatBytes == 0 {
+		cfg.HeartbeatBytes = def.HeartbeatBytes
+	}
+	if cfg.DetectTimeout == 0 {
+		cfg.DetectTimeout = def.DetectTimeout
+	}
+	if cfg.PerOpOverhead == 0 {
+		cfg.PerOpOverhead = def.PerOpOverhead
+	}
+	if cfg.DeliveryFactor == 0 {
+		cfg.DeliveryFactor = def.DeliveryFactor
+	}
+	if cfg.InterferenceSteal == 0 {
+		cfg.InterferenceSteal = def.InterferenceSteal
+	}
+	if cfg.RevokeHop == 0 {
+		cfg.RevokeHop = def.RevokeHop
+	}
+	if cfg.ShrinkBase == 0 {
+		cfg.ShrinkBase = def.ShrinkBase
+	}
+	if cfg.ShrinkPerRank == 0 {
+		cfg.ShrinkPerRank = def.ShrinkPerRank
+	}
+	if cfg.AgreeRound == 0 {
+		cfg.AgreeRound = def.AgreeRound
+	}
+	if cfg.SpawnDelay == 0 {
+		cfg.SpawnDelay = def.SpawnDelay
+	}
+	if cfg.MergeBase == 0 {
+		cfg.MergeBase = def.MergeBase
+	}
+	if cfg.MergePerRank == 0 {
+		cfg.MergePerRank = def.MergePerRank
+	}
+	rt := &Runtime{
+		job:       job,
+		cfg:       cfg,
+		entry:     entry,
+		world:     job.World(),
+		rounds:    make(map[int]*repairRound),
+		firstSeen: make(map[int]simnet.Time),
+	}
+	job.PerOpOverhead = cfg.PerOpOverhead
+	job.DeliveryFactor = cfg.DeliveryFactor
+	job.Cluster().Scheduler().After(cfg.HeartbeatPeriod, rt.tick)
+	return rt
+}
+
+// World returns the current (possibly repaired) world communicator.
+func (rt *Runtime) World() *mpi.Comm { return rt.world }
+
+// Stop halts the detector.
+func (rt *Runtime) Stop() { rt.stopped = true }
+
+// tick runs one heartbeat round: emit ring heartbeats (consuming NIC
+// time), steal detector-collective time from every rank, and flag peers
+// that have been silent past the timeout.
+func (rt *Runtime) tick() {
+	if rt.stopped {
+		return
+	}
+	cl := rt.job.Cluster()
+	now := cl.Now()
+	members := rt.world.Members()
+	steal := rt.interferencePerTick(len(members))
+	allExited := true
+	alive := rt.world.AliveMembers()
+	for i, p := range alive {
+		succ := alive[(i+1)%len(alive)]
+		// Ring heartbeat: consumes sender NIC bandwidth.
+		cl.SendArrival(p.NodeID(), succ.NodeID(), rt.cfg.HeartbeatBytes, now)
+		rt.job.Steal(p.GID(), steal)
+	}
+	for _, p := range members {
+		sp := p.SimProc()
+		if sp == nil || !sp.Exited() {
+			allExited = false
+		}
+		if !p.Failed() || rt.job.Detected(p.GID()) {
+			continue
+		}
+		gid := p.GID()
+		first, ok := rt.firstSeen[gid]
+		if !ok {
+			rt.firstSeen[gid] = now
+			first = now
+		}
+		if now-first >= rt.cfg.DetectTimeout {
+			// Failure confirmed: blocked operations involving this process
+			// now raise MPIX_ERR_PROC_FAILED.
+			rt.job.MarkDetected(gid)
+		}
+	}
+	if allExited {
+		return
+	}
+	cl.Scheduler().After(rt.cfg.HeartbeatPeriod, rt.tick)
+}
+
+func (rt *Runtime) interferencePerTick(p int) simnet.Time {
+	return rt.cfg.InterferenceSteal * simnet.Time(log2ceil(p))
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// IsFailureError reports whether err is one of ULFM's recoverable error
+// classes.
+func IsFailureError(err error) bool {
+	return errors.Is(err, mpi.ErrProcFailed) || errors.Is(err, mpi.ErrRevoked)
+}
+
+// RunResilient executes the runtime's resilient main (given to NewRuntime)
+// in the setjmp-style loop of the paper's Figure 3: on a failure error, the
+// world is repaired (revoke, shrink, spawn, merge, agree) and main
+// re-enters with restarted=true; main's FTI recovery then rolls application
+// state back to the last checkpoint.
+func (rt *Runtime) RunResilient(r *mpi.Rank) error {
+	return rt.resilientLoop(r, rt.world, false)
+}
+
+func (rt *Runtime) resilientLoop(r *mpi.Rank, world *mpi.Comm, restarted bool) error {
+	for {
+		err := rt.entry(r, world, restarted)
+		if err == nil {
+			return nil
+		}
+		if !IsFailureError(err) {
+			return err
+		}
+		nw, rerr := rt.RepairWorld(r, world)
+		if rerr != nil {
+			return fmt.Errorf("ulfm: repair failed: %w", rerr)
+		}
+		world, restarted = nw, true
+	}
+}

@@ -1,0 +1,115 @@
+// Package match is the public facade of MATCH-Go, a reproduction of
+// "MATCH: An MPI Fault Tolerance Benchmark Suite" (IISWC 2020) as a pure
+// Go library: six HPC proxy applications wired to three MPI fault-
+// tolerance designs (FTI checkpointing combined with Restart, Reinit, or
+// ULFM recovery) running on a deterministic discrete-event cluster
+// simulation.
+//
+// Typical use:
+//
+//	bd, err := match.Run(match.Config{
+//		App:    "HPCCG",
+//		Design: match.ReinitFTI,
+//		Procs:  64,
+//		Input:  match.Small,
+//	})
+//
+// See cmd/match for the CLI, cmd/matchsuite for regenerating every table
+// and figure of the paper, and cmd/matchdep for the checkpoint data-object
+// analysis (Algorithm 1).
+package match
+
+import (
+	"io"
+
+	"match/internal/apps"
+	"match/internal/apps/appkit"
+	"match/internal/core"
+	"match/internal/depanal"
+)
+
+// Re-exported harness types.
+type (
+	// Config describes one benchmark run.
+	Config = core.Config
+	// Breakdown is the measured execution-time breakdown.
+	Breakdown = core.Breakdown
+	// Design selects the fault-tolerance composition.
+	Design = core.Design
+	// InputSize selects Small/Medium/Large from Table I.
+	InputSize = core.InputSize
+	// Result pairs a config with its breakdown.
+	Result = core.Result
+	// SuiteOptions shapes figure sweeps.
+	SuiteOptions = core.SuiteOptions
+	// Ratios holds the paper's §V-C headline comparisons.
+	Ratios = core.Ratios
+	// Params configures a custom application run.
+	Params = appkit.Params
+	// App is the application contract for extending the suite.
+	App = appkit.App
+	// Context is the per-rank execution context handed to applications.
+	Context = appkit.Context
+)
+
+// The three fault-tolerance designs.
+const (
+	RestartFTI = core.RestartFTI
+	ReinitFTI  = core.ReinitFTI
+	UlfmFTI    = core.UlfmFTI
+)
+
+// The three input problem sizes.
+const (
+	Small  = core.Small
+	Medium = core.Medium
+	Large  = core.Large
+)
+
+// Run executes one configuration and returns its breakdown.
+func Run(cfg Config) (Breakdown, error) { return core.Run(cfg) }
+
+// RunAveraged repeats a configuration (the paper averaged five runs) and
+// returns the mean breakdown plus individual results.
+func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
+	return core.RunAveraged(cfg, reps)
+}
+
+// RunFigure regenerates one of the paper's evaluation figures (5-10),
+// writing the series to w and returning the raw results.
+func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
+	return core.RunFigure(fig, opts, w)
+}
+
+// WriteTableI renders the paper's Table I with the reproduction's
+// scaled-down equivalents.
+func WriteTableI(w io.Writer) { core.WriteTableI(w) }
+
+// WriteCSV emits results as CSV.
+func WriteCSV(w io.Writer, results []Result) { core.WriteCSV(w, results) }
+
+// ComputeRatios derives the §V-C headline ratios from with-failure runs.
+func ComputeRatios(results []Result) Ratios { return core.ComputeRatios(results) }
+
+// Apps lists the registered proxy applications.
+func Apps() []string { return apps.Names() }
+
+// RegisterApp adds a custom application to the suite (§V-E: MATCH is meant
+// to be extended with new applications and designs).
+func RegisterApp(name string, factory func() App) error {
+	return apps.Register(name, func() appkit.App { return factory() })
+}
+
+// Dependency-analysis re-exports (Algorithm 1).
+type (
+	// Tracer records dynamic execution traces from instrumented kernels.
+	Tracer = depanal.Tracer
+	// TraceResult is the outcome of the checkpoint-object analysis.
+	TraceResult = depanal.Result
+)
+
+// NewTracer returns an empty execution tracer.
+func NewTracer() *Tracer { return depanal.NewTracer() }
+
+// AnalyzeTrace runs Algorithm 1 over a recorded trace.
+func AnalyzeTrace(t *Tracer) TraceResult { return depanal.Analyze(t.Trace()) }

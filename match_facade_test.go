@@ -1,0 +1,71 @@
+package match_test
+
+import (
+	"strings"
+	"testing"
+
+	"match"
+)
+
+func TestFacadeRun(t *testing.T) {
+	bd, err := match.Run(match.Config{
+		App:    "miniVite",
+		Design: match.ReinitFTI,
+		Procs:  16,
+		Nodes:  8,
+		Params: match.Params{NVerts: 512, MaxIter: 6, WorkScale: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bd.Completed || bd.Total <= 0 {
+		t.Fatalf("bad breakdown: %+v", bd)
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	apps := match.Apps()
+	if len(apps) < 6 {
+		t.Fatalf("apps = %v", apps)
+	}
+	for _, want := range []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"} {
+		found := false
+		for _, a := range apps {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %s in %v", want, apps)
+		}
+	}
+}
+
+func TestFacadeRegisterRejectsDuplicates(t *testing.T) {
+	if err := match.RegisterApp("HPCCG", nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestFacadeTableI(t *testing.T) {
+	var sb strings.Builder
+	match.WriteTableI(&sb)
+	if !strings.Contains(sb.String(), "-problem 2 -n 20 20 20") {
+		t.Fatalf("Table I missing the paper's AMG input:\n%s", sb.String())
+	}
+}
+
+func TestFacadeTracer(t *testing.T) {
+	tc := match.NewTracer()
+	tc.Alloc("v", 64, 16, 1)
+	tc.LoopBegin(2)
+	tc.NextIter(0)
+	tc.Load(64, 1, 3)
+	tc.NextIter(1)
+	tc.Load(64, 2, 3)
+	tc.LoopEnd()
+	res := match.AnalyzeTrace(tc)
+	if len(res.Checkpoint) != 1 || res.Checkpoint[0].Name != "v" {
+		t.Fatalf("analysis = %+v", res)
+	}
+}
