@@ -4,6 +4,8 @@
 // Usage:
 //
 //	match -app HPCCG -design reinit -procs 64 -input small -fault
+//	match -design replica -replica-factor 0.5 -fault
+//	match -list-designs
 package main
 
 import (
@@ -14,12 +16,14 @@ import (
 
 	"match/internal/core"
 	"match/internal/fti"
+	"match/internal/replica"
 )
 
 func main() {
 	app := flag.String("app", "HPCCG", "application: AMG, CoMD, HPCCG, LULESH, miniFE, miniVite")
-	design := flag.String("design", "reinit", "fault-tolerance design: restart, reinit, ulfm")
-	procs := flag.Int("procs", 64, "number of MPI processes (64, 128, 256, 512)")
+	design := flag.String("design", "reinit", "fault-tolerance design (see -list-designs); case-insensitive")
+	listDesigns := flag.Bool("list-designs", false, "print the available fault-tolerance designs and exit")
+	procs := flag.Int("procs", 64, "number of logical MPI processes (64, 128, 256, 512)")
 	nodes := flag.Int("nodes", 32, "number of compute nodes")
 	input := flag.String("input", "small", "input problem size: small, medium, large")
 	faultOn := flag.Bool("fault", false, "inject one random process failure (Figure 4)")
@@ -27,7 +31,25 @@ func main() {
 	level := flag.Int("level", 1, "FTI checkpoint level (1-4)")
 	stride := flag.Int("stride", 10, "checkpoint every N iterations")
 	reps := flag.Int("reps", 1, "repetitions to average (the paper used 5)")
+	dupDegree := flag.Int("dup-degree", 0, "replica design: replicas per protected rank (default 2)")
+	replicaFactor := flag.Float64("replica-factor", 0, "replica design: fraction of ranks replicated (default 1; <1 = partial replication)")
 	flag.Parse()
+
+	if *listDesigns {
+		fmt.Println("available fault-tolerance designs:")
+		for _, d := range core.Designs() {
+			fmt.Printf("  %-10s (%s)\n", d.ShortName(), d)
+		}
+		return
+	}
+	if *dupDegree < 0 {
+		fmt.Fprintf(os.Stderr, "-dup-degree %d invalid (want >= 1, or 0 for the default)\n", *dupDegree)
+		os.Exit(2)
+	}
+	if *replicaFactor < 0 || *replicaFactor > 1 {
+		fmt.Fprintf(os.Stderr, "-replica-factor %g invalid (want 0 < f <= 1, or 0 for the default)\n", *replicaFactor)
+		os.Exit(2)
+	}
 
 	cfg := core.Config{
 		App:         *app,
@@ -37,18 +59,17 @@ func main() {
 		FaultSeed:   *seed,
 		FTILevel:    fti.Level(*level),
 		CkptStride:  *stride,
+		Replica: replica.Config{
+			DupDegree:     *dupDegree,
+			ReplicaFactor: *replicaFactor,
+		},
 	}
-	switch strings.ToLower(*design) {
-	case "restart":
-		cfg.Design = core.RestartFTI
-	case "reinit":
-		cfg.Design = core.ReinitFTI
-	case "ulfm":
-		cfg.Design = core.UlfmFTI
-	default:
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+	d, err := core.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg.Design = d
 	switch strings.ToLower(*input) {
 	case "small":
 		cfg.Input = core.Small
@@ -57,7 +78,7 @@ func main() {
 	case "large":
 		cfg.Input = core.Large
 	default:
-		fmt.Fprintf(os.Stderr, "unknown input %q\n", *input)
+		fmt.Fprintf(os.Stderr, "unknown input %q (valid: small, medium, large)\n", *input)
 		os.Exit(2)
 	}
 

@@ -1,7 +1,7 @@
 // Custom-app: extend MATCH with a new application, as §V-E of the paper
 // invites ("we encourage programmers to add new HPC applications ... to
 // MATCH"). The app below is a 2D Jacobi heat solver written against the
-// appkit contract; once registered it runs under any of the three
+// appkit contract; once registered it runs under any of the four
 // fault-tolerance designs, fault injection and all.
 package main
 

@@ -1,5 +1,5 @@
 // Failure-recovery: inject the same process failure (Figure 4 of the
-// paper) into CoMD under all three fault-tolerance designs and compare how
+// paper) into CoMD under all four fault-tolerance designs and compare how
 // long each takes to bring MPI back — the experiment behind Figure 7.
 // The recovered answer is verified against a failure-free run.
 package main

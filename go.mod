@@ -1,0 +1,3 @@
+module match
+
+go 1.21

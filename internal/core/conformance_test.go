@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"match/internal/apps"
+)
+
+// TestDesignConformanceMatrix is the contract future designs must keep:
+// every registered application under every Designs() entry, on the Small
+// Table I input with an injected process failure, must produce a valid
+// breakdown — completed, positive total, checkpoints written, the
+// failure recovered, and (spot-checked on one design per app below and on
+// every cell by the replica determinism test) byte-identical reruns.
+// A design added to Designs() without passing this sweep cannot silently
+// break an app.
+func TestDesignConformanceMatrix(t *testing.T) {
+	for _, app := range apps.Names() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			for _, d := range Designs() {
+				d := d
+				t.Run(d.String(), func(t *testing.T) {
+					cfg := Config{
+						App: app, Design: d, Procs: 8, Nodes: 4,
+						Input: Small, InjectFault: true, FaultSeed: 9,
+					}
+					bd, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if !bd.Completed {
+						t.Fatal("run did not complete")
+					}
+					if bd.Total <= 0 {
+						t.Fatalf("total = %v", bd.Total)
+					}
+					if bd.Ckpt <= 0 || bd.CkptCount <= 0 {
+						t.Fatalf("no checkpoints recorded: ckpt=%v count=%d", bd.Ckpt, bd.CkptCount)
+					}
+					if bd.Recoveries < 1 || bd.Recovery <= 0 {
+						t.Fatalf("failure not recovered: recoveries=%d recovery=%v", bd.Recoveries, bd.Recovery)
+					}
+					if bd.Messages <= 0 || bd.NetBytes <= 0 {
+						t.Fatalf("no traffic recorded: %d msgs, %d bytes", bd.Messages, bd.NetBytes)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDesignConformanceDeterministic reruns one cell per app (rotating
+// through the designs) and requires byte-identical breakdowns — the
+// property every figure, ratio, and regression comparison rests on.
+func TestDesignConformanceDeterministic(t *testing.T) {
+	designs := Designs()
+	for i, app := range apps.Names() {
+		d := designs[i%len(designs)]
+		cfg := Config{
+			App: app, Design: d, Procs: 8, Nodes: 4,
+			Input: Small, InjectFault: true, FaultSeed: 9,
+		}
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s first run: %v", app, d, err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s second run: %v", app, d, err)
+		}
+		if a != b {
+			t.Fatalf("%s/%s not deterministic:\n%+v\n%+v", app, d, a, b)
+		}
+	}
+}
+
+// TestReplicaAllAppsSmall64 pins the acceptance bar of the ReplicaFTI
+// extension: the paper-scale default configuration (64 procs, Small input)
+// must run under replication for all six proxy applications, and rerun to
+// a byte-identical breakdown.
+func TestReplicaAllAppsSmall64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-proc sweep skipped in -short mode")
+	}
+	for _, app := range apps.Names() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			cfg := Config{App: app, Design: ReplicaFTI, Procs: 64, Input: Small,
+				InjectFault: true, FaultSeed: 1}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !a.Completed || a.Recoveries < 1 {
+				t.Fatalf("bad breakdown: %+v", a)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("rerun: %v", err)
+			}
+			if a != b {
+				t.Fatalf("not byte-identical:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}

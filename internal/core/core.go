@@ -1,13 +1,16 @@
 // Package core is MATCH's measurement harness — the paper's primary
-// contribution. It composes a proxy application with one of the three
-// fault-tolerance designs (RESTART-FTI, REINIT-FTI, ULFM-FTI), runs it on
-// the simulated cluster at a Table I configuration with or without an
-// injected process failure, and reports the execution-time breakdown the
-// paper's figures plot: Application / Write Checkpoints / Recovery.
+// contribution. It composes a proxy application with one of the four
+// fault-tolerance designs (RESTART-FTI, REINIT-FTI, ULFM-FTI from the
+// paper, plus the replication-based REPLICA-FTI extension the paper's
+// §V-E invites), runs it on the simulated cluster at a Table I
+// configuration with or without an injected process failure, and reports
+// the execution-time breakdown the paper's figures plot: Application /
+// Write Checkpoints / Recovery.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"match/internal/apps"
 	"match/internal/apps/appkit"
@@ -15,6 +18,7 @@ import (
 	"match/internal/fti"
 	"match/internal/mpi"
 	"match/internal/reinit"
+	"match/internal/replica"
 	"match/internal/restart"
 	"match/internal/simnet"
 	"match/internal/storage"
@@ -24,11 +28,12 @@ import (
 // Design selects the fault-tolerance composition.
 type Design int
 
-// The three designs the paper evaluates.
+// The three designs the paper evaluates plus the replication-based fourth.
 const (
 	RestartFTI Design = iota
 	ReinitFTI
 	UlfmFTI
+	ReplicaFTI
 )
 
 func (d Design) String() string {
@@ -39,12 +44,43 @@ func (d Design) String() string {
 		return "REINIT-FTI"
 	case UlfmFTI:
 		return "ULFM-FTI"
+	case ReplicaFTI:
+		return "REPLICA-FTI"
 	}
 	return fmt.Sprintf("design(%d)", int(d))
 }
 
-// Designs lists all three in the paper's plotting order.
-func Designs() []Design { return []Design{RestartFTI, ReinitFTI, UlfmFTI} }
+// Designs lists all four in plotting order: the paper's three followed by
+// the replication extension.
+func Designs() []Design { return []Design{RestartFTI, ReinitFTI, UlfmFTI, ReplicaFTI} }
+
+// ShortName returns the design's canonical CLI spelling ("replica").
+func (d Design) ShortName() string {
+	return strings.ToLower(strings.TrimSuffix(d.String(), "-FTI"))
+}
+
+// DesignNames returns the canonical CLI spellings in plotting order.
+func DesignNames() []string {
+	names := make([]string, 0, len(Designs()))
+	for _, d := range Designs() {
+		names = append(names, d.ShortName())
+	}
+	return names
+}
+
+// ParseDesign resolves a design name case-insensitively, accepting both
+// the short form ("replica") and the full form ("REPLICA-FTI"). Unknown
+// names get an error that lists every valid spelling.
+func ParseDesign(name string) (Design, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	want = strings.TrimSuffix(want, "-fti")
+	for _, d := range Designs() {
+		if want == d.ShortName() {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown design %q (valid: %s)", name, strings.Join(DesignNames(), ", "))
+}
 
 // InputSize is the paper's Small/Medium/Large problem selector.
 type InputSize int
@@ -91,6 +127,7 @@ type Config struct {
 	Ulfm    ulfm.Config
 	Reinit  reinit.Config
 	Restart restart.Config
+	Replica replica.Config
 
 	// Params overrides the Table I parameter resolution entirely when
 	// MaxIter is non-zero (used by custom applications).
@@ -132,6 +169,16 @@ func newRecorder() *recorder {
 	}
 }
 
+// addFTIStats accumulates one rank-instance's FTI stats (the single-
+// process-per-rank designs call it directly from runApp's defer).
+func (rec *recorder) addFTIStats(rank int, st fti.Stats) {
+	rec.ckptTime[rank] += st.CkptTime
+	if rank == 0 {
+		rec.ckptCount += st.CkptCount
+		rec.ckptBytes += st.CkptBytes
+	}
+}
+
 var execSeq int
 
 // Run executes one configuration to completion and returns its breakdown.
@@ -158,14 +205,23 @@ func Run(cfg Config) (Breakdown, error) {
 	}
 	params.CkptStride = cfg.CkptStride
 
-	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes})
+	// ReplicaFTI doubles the inbound traffic at replicated ranks, so its
+	// cluster serializes ingress NICs too; the paper's three designs keep
+	// the seed's egress-only model and its calibrated timings.
+	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes, ModelIngress: cfg.Design == ReplicaFTI})
 	cluster.Scheduler().SetDeadline(200000 * simnet.Second) // deadlock net
 	st := storage.New(cluster, storage.Config{BytesScale: scale})
 
 	var inj *fault.Injector
-	if cfg.InjectFault {
+	switch {
+	case cfg.InjectFault && cfg.Design == ReplicaFTI:
+		// Same (rank, iteration) draw as the other designs for the same
+		// seed, plus which replica of the target rank dies.
+		lay := replica.NewLayout(cfg.Procs, cfg.Nodes, cfg.Replica)
+		inj = fault.NewInjector(fault.NewReplicatedPlan(cfg.FaultSeed, cfg.Procs, params.MaxIter, cfg.FaultKind, lay.DegreeOf))
+	case cfg.InjectFault:
 		inj = fault.NewInjector(fault.NewPlan(cfg.FaultSeed, cfg.Procs, params.MaxIter, cfg.FaultKind))
-	} else {
+	default:
 		inj = fault.NewInjector(fault.Plan{})
 	}
 
@@ -174,7 +230,11 @@ func Run(cfg Config) (Breakdown, error) {
 	rec := newRecorder()
 
 	// runApp is the shared resilient main: FTI + the Figure-1 loop.
-	runApp := func(r *mpi.Rank, world *mpi.Comm) error {
+	// record receives the rank's FTI stats when it stops running (normally
+	// or by teardown); designs that run one process per rank accumulate
+	// directly, while the replica design deduplicates across the replicas
+	// of a rank first.
+	runApp := func(r *mpi.Rank, world *mpi.Comm, record func(rank int, st fti.Stats)) error {
 		f, ferr := fti.Init(fti.Config{
 			Level:      cfg.FTILevel,
 			ExecID:     execID,
@@ -184,13 +244,7 @@ func Run(cfg Config) (Breakdown, error) {
 			return ferr
 		}
 		rank := r.Rank(world)
-		defer func() {
-			rec.ckptTime[rank] += f.Stats.CkptTime
-			if rank == 0 {
-				rec.ckptCount += f.Stats.CkptCount
-				rec.ckptBytes += f.Stats.CkptBytes
-			}
-		}()
+		defer func() { record(rank, f.Stats) }()
 		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params}
 		sig, aerr := appkit.RunMainLoop(ctx, factory())
 		if aerr != nil {
@@ -209,6 +263,8 @@ func Run(cfg Config) (Breakdown, error) {
 		err = runReinit(cfg, cluster, rec, runApp, scale, &bd)
 	case UlfmFTI:
 		err = runUlfm(cfg, cluster, rec, runApp, scale, &bd)
+	case ReplicaFTI:
+		err = runReplica(cfg, cluster, rec, runApp, scale, &bd)
 	default:
 		return Breakdown{}, fmt.Errorf("core: unknown design %v", cfg.Design)
 	}
@@ -246,11 +302,11 @@ func firstErr(errs []error) error {
 }
 
 func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
 	rcfg := cfg.Restart
 	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
 	sup := restart.Supervise(cluster, rcfg, cfg.Procs, 0, func(r *mpi.Rank) {
-		if err := runApp(r, r.Job().World()); err != nil {
+		if err := runApp(r, r.Job().World(), rec.addFTIStats); err != nil {
 			// Teardown-induced errors are expected on doomed incarnations.
 			rec.errs = append(rec.errs, err)
 		}
@@ -268,7 +324,7 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
 	var rt *reinit.Runtime
 	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
 		if err := rt.Run(r); err != nil {
@@ -277,7 +333,7 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	})
 	job.BytesScale = scale
 	rt = reinit.NewRuntime(job, cfg.Reinit, func(r *mpi.Rank, state reinit.State) error {
-		return runApp(r, rt.World())
+		return runApp(r, rt.World(), rec.addFTIStats)
 	})
 	cluster.Run()
 	rt.Stop()
@@ -292,7 +348,7 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
 	var rt *ulfm.Runtime
 	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
 		if err := rt.RunResilient(r); err != nil {
@@ -301,7 +357,7 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	})
 	job.BytesScale = scale
 	rt = ulfm.NewRuntime(job, cfg.Ulfm, func(r *mpi.Rank, world *mpi.Comm, restarted bool) error {
-		return runApp(r, world)
+		return runApp(r, world, rec.addFTIStats)
 	})
 	cluster.Run()
 	rt.Stop()
@@ -312,5 +368,51 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	bd.Recoveries = len(rt.Recoveries)
 	bd.Messages = job.Stats.Messages
 	bd.NetBytes = job.Stats.Bytes
+	return nil
+}
+
+func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
+	rcfg := cfg.Replica
+	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
+	// All replicas of a rank run the identical checkpoints, so their FTI
+	// stats must be deduplicated, not summed: per incarnation and rank,
+	// keep the stats of the replica that got furthest (the one that
+	// finished, or ran longest before dying), then accumulate across
+	// incarnations like the restart design does.
+	perJob := make(map[*mpi.Job]map[int]fti.Stats)
+	sup := replica.Supervise(cluster, rcfg, cfg.Procs, func(r *mpi.Rank, world *mpi.Comm, idx int) {
+		job := r.Job()
+		if err := runApp(r, world, func(rank int, st fti.Stats) {
+			best := perJob[job]
+			if best == nil {
+				best = make(map[int]fti.Stats)
+				perJob[job] = best
+			}
+			if st.CkptTime >= best[rank].CkptTime {
+				best[rank] = st
+			}
+		}); err != nil {
+			// Teardown-induced errors are expected on doomed incarnations.
+			rec.errs = append(rec.errs, err)
+		}
+	})
+	cluster.Run()
+	for _, j := range sup.Jobs {
+		for rank := 0; rank < cfg.Procs; rank++ {
+			rec.addFTIStats(rank, perJob[j][rank])
+		}
+	}
+	for _, rcv := range sup.Recoveries {
+		bd.Recovery += rcv.Duration()
+	}
+	bd.Recoveries = len(sup.Recoveries)
+	for _, j := range sup.Jobs {
+		bd.Messages += j.Stats.Messages
+		bd.NetBytes += j.Stats.Bytes
+	}
+	if sup.GaveUp {
+		return fmt.Errorf("replica: gave up after %d relaunches", sup.Relaunches())
+	}
 	return nil
 }

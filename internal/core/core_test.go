@@ -85,8 +85,8 @@ func TestEveryAppEveryDesignRecoversExactly(t *testing.T) {
 	}
 }
 
-// Without failures, all three designs must produce the identical answer
-// (they share the same deterministic problem instance).
+// Without failures, all designs must produce the identical answer (they
+// share the same deterministic problem instance).
 func TestDesignsAgreeWithoutFailure(t *testing.T) {
 	for _, app := range allApps {
 		params := tinyParams(app)
@@ -98,14 +98,17 @@ func TestDesignsAgreeWithoutFailure(t *testing.T) {
 			}
 			sigs = append(sigs, bd.Signature)
 		}
-		if sigs[0] != sigs[1] || sigs[1] != sigs[2] {
-			t.Fatalf("%s: designs disagree: %v", app, sigs)
+		for i, s := range sigs {
+			if s != sigs[0] {
+				t.Fatalf("%s: %s disagrees with %s: %v", app, Designs()[i], Designs()[0], sigs)
+			}
 		}
 	}
 }
 
-// Recovery-cost ordering must reproduce the paper's central finding:
-// Reinit < ULFM < Restart.
+// Recovery-cost ordering must reproduce the paper's central finding —
+// Reinit < ULFM < Restart — and place replication's rollback-free failover
+// below all three.
 func TestRecoveryOrdering(t *testing.T) {
 	params := tinyParams("HPCCG")
 	params.CkptStride = 3
@@ -122,6 +125,10 @@ func TestRecoveryOrdering(t *testing.T) {
 	if !(recov[ReinitFTI] < recov[UlfmFTI] && recov[UlfmFTI] < recov[RestartFTI]) {
 		t.Fatalf("recovery ordering violated: reinit=%.3f ulfm=%.3f restart=%.3f",
 			recov[ReinitFTI], recov[UlfmFTI], recov[RestartFTI])
+	}
+	if !(recov[ReplicaFTI] < recov[ReinitFTI]) {
+		t.Fatalf("replica failover %.3f not below reinit %.3f",
+			recov[ReplicaFTI], recov[ReinitFTI])
 	}
 }
 
@@ -183,9 +190,9 @@ func TestFigureConfigs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 scales x 3 designs, no fault.
-	if len(cfgs) != 6 {
-		t.Fatalf("fig5 configs = %d, want 6", len(cfgs))
+	// 2 scales x 4 designs, no fault.
+	if len(cfgs) != 8 {
+		t.Fatalf("fig5 configs = %d, want 8", len(cfgs))
 	}
 	for _, c := range cfgs {
 		if c.InjectFault {
@@ -196,9 +203,9 @@ func TestFigureConfigs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 inputs x 3 designs with fault at the default scale.
-	if len(cfgs) != 9 {
-		t.Fatalf("fig9 configs = %d, want 9", len(cfgs))
+	// 3 inputs x 4 designs with fault at the default scale.
+	if len(cfgs) != 12 {
+		t.Fatalf("fig9 configs = %d, want 12", len(cfgs))
 	}
 	for _, c := range cfgs {
 		if !c.InjectFault || c.Procs != DefaultProcs {
@@ -270,6 +277,13 @@ func TestComputeRatios(t *testing.T) {
 	if r.RestartOverReinitAvg <= r.UlfmOverReinitAvg {
 		t.Errorf("Restart/Reinit %.2f not above ULFM/Reinit %.2f",
 			r.RestartOverReinitAvg, r.UlfmOverReinitAvg)
+	}
+	if r.ReinitOverReplicaAvg <= 1 {
+		t.Errorf("Reinit/Replica = %.2f, want > 1 (failover must beat global restart)",
+			r.ReinitOverReplicaAvg)
+	}
+	if r.ReplicaOverReinitTotalAvg <= 0 {
+		t.Errorf("Replica/Reinit total = %.2f, want > 0", r.ReplicaOverReinitTotalAvg)
 	}
 	var sb strings.Builder
 	r.Write(&sb)

@@ -6,7 +6,9 @@ import (
 )
 
 // Ratios are the paper's §V-C headline comparisons, derived from
-// with-failure runs (Figures 6/7 data).
+// with-failure runs (Figures 6/7 data), extended with the replication
+// design's trade-off: recovery even cheaper than Reinit, bought with
+// steady-state slowdown and doubled resources.
 type Ratios struct {
 	UlfmOverReinitAvg    float64 // paper: ~4x
 	UlfmOverReinitMax    float64 // paper: up to 13x
@@ -14,11 +16,19 @@ type Ratios struct {
 	RestartOverReinitMax float64 // paper: up to 22x
 	RestartOverUlfmAvg   float64 // paper: 2-3x
 	CkptShareAvg         float64 // checkpoint share of total time; paper: ~13%
-	Samples              int
+
+	// ReplicaFTI extension (no paper analog).
+	ReinitOverReplicaAvg      float64 // rollback-free failover vs the fastest rollback design
+	ReinitOverReplicaMax      float64
+	ReplicaOverReinitTotalAvg float64 // replica total / reinit total on the failure runs;
+	// below 1 means rollback-free failover beat the fastest rollback design
+	// end-to-end despite replication's duplication overhead
+
+	Samples int
 }
 
 // ComputeRatios derives the headline ratios from a result set containing
-// all three designs for matching (app, procs, input) cells.
+// the designs for matching (app, procs, input) cells.
 func ComputeRatios(results []Result) Ratios {
 	type cell struct {
 		app, input string
@@ -39,11 +49,12 @@ func ComputeRatios(results []Result) Ratios {
 			ckptN++
 		}
 	}
-	var ur, rr, ru []float64
+	var ur, rr, ru, rpr, rps []float64
 	for _, m := range rec {
 		re, haveRe := m[ReinitFTI]
 		ul, haveUl := m[UlfmFTI]
 		rs, haveRs := m[RestartFTI]
+		rp, haveRp := m[ReplicaFTI]
 		if haveRe && haveUl && re.Recovery > 0 {
 			ur = append(ur, ul.Recovery.Seconds()/re.Recovery.Seconds())
 		}
@@ -53,10 +64,18 @@ func ComputeRatios(results []Result) Ratios {
 		if haveUl && haveRs && ul.Recovery > 0 {
 			ru = append(ru, rs.Recovery.Seconds()/ul.Recovery.Seconds())
 		}
+		if haveRe && haveRp && rp.Recovery > 0 {
+			rpr = append(rpr, re.Recovery.Seconds()/rp.Recovery.Seconds())
+		}
+		if haveRe && haveRp && re.Total > 0 {
+			rps = append(rps, rp.Total.Seconds()/re.Total.Seconds())
+		}
 	}
 	ratios.UlfmOverReinitAvg, ratios.UlfmOverReinitMax = avgMax(ur)
 	ratios.RestartOverReinitAvg, ratios.RestartOverReinitMax = avgMax(rr)
 	ratios.RestartOverUlfmAvg, _ = avgMax(ru)
+	ratios.ReinitOverReplicaAvg, ratios.ReinitOverReplicaMax = avgMax(rpr)
+	ratios.ReplicaOverReinitTotalAvg, _ = avgMax(rps)
 	if ckptN > 0 {
 		ratios.CkptShareAvg = ckptShareSum / float64(ckptN)
 	}
@@ -88,5 +107,8 @@ func (r Ratios) Write(w io.Writer) {
 	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Restart / Reinit recovery (max)", r.RestartOverReinitMax, "up to 22x")
 	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Restart / ULFM recovery (avg)", r.RestartOverUlfmAvg, "2-3x")
 	fmt.Fprintf(w, "%-34s %9.1f%% %12s\n", "checkpoint share of runtime (avg)", 100*r.CkptShareAvg, "~13%")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Reinit / Replica recovery (avg)", r.ReinitOverReplicaAvg, "(extension)")
+	fmt.Fprintf(w, "%-34s %10.1fx %12s\n", "Reinit / Replica recovery (max)", r.ReinitOverReplicaMax, "(extension)")
+	fmt.Fprintf(w, "%-34s %10.2fx %12s\n", "Replica / Reinit total w/ failure", r.ReplicaOverReinitTotalAvg, "(extension)")
 	fmt.Fprintf(w, "(over %d design-comparable cells)\n\n", r.Samples)
 }

@@ -36,6 +36,10 @@ type Plan struct {
 	Kind       Kind
 	TargetRank int
 	TargetIter int
+	// TargetReplica selects which replica of TargetRank dies when the rank
+	// is backed by a replica group (ReplicaFTI). Zero — the primary — for
+	// the unreplicated designs, so their plans are unchanged.
+	TargetReplica int
 }
 
 // NewPlan draws a random (rank, iteration) target, like the paper's
@@ -44,6 +48,25 @@ type Plan struct {
 // lands mid-execution rather than trivially at the start or end.
 func NewPlan(seed int64, nranks, maxIter int, kind Kind) Plan {
 	rng := rand.New(rand.NewSource(seed))
+	return newPlan(rng, nranks, maxIter, kind)
+}
+
+// NewReplicatedPlan draws rank and iteration exactly as NewPlan does for
+// the same seed (so every design sees the identical logical failure), then
+// additionally draws which replica of the target rank dies. degreeOf
+// reports the replica-group size of a logical rank; unreplicated targets
+// keep replica 0, which is how partial replication (ReplicaFactor < 1)
+// exercises the checkpoint-only fallback path.
+func NewReplicatedPlan(seed int64, nranks, maxIter int, kind Kind, degreeOf func(rank int) int) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := newPlan(rng, nranks, maxIter, kind)
+	if d := degreeOf(p.TargetRank); d > 1 {
+		p.TargetReplica = rng.Intn(d)
+	}
+	return p
+}
+
+func newPlan(rng *rand.Rand, nranks, maxIter int, kind Kind) Plan {
 	lo := maxIter / 10
 	hi := maxIter - maxIter/10
 	if hi <= lo {
@@ -86,9 +109,16 @@ func (in *Injector) MaybeFail(r *mpi.Rank, comm *mpi.Comm, iter int) {
 	if iter != in.Plan.TargetIter || r.Rank(comm) != in.Plan.TargetRank {
 		return
 	}
+	if comm.ReplicaIndexOf(r.Process().GID()) != in.Plan.TargetReplica {
+		return // a twin replica of the target rank, not the chosen victim
+	}
 	in.fired = true
 	if in.Log != nil {
-		fmt.Fprintf(in.Log, "KILL rank %d\n", r.Rank(comm))
+		if comm.Replicated() {
+			fmt.Fprintf(in.Log, "KILL rank %d replica %d\n", r.Rank(comm), in.Plan.TargetReplica)
+		} else {
+			fmt.Fprintf(in.Log, "KILL rank %d\n", r.Rank(comm))
+		}
 	}
 	if in.Plan.Kind == NodeFailure {
 		node := r.Process().NodeID()

@@ -20,6 +20,38 @@ func TestNewPlanDeterministic(t *testing.T) {
 	}
 }
 
+// NewReplicatedPlan must target the same (rank, iteration) as NewPlan for
+// the same seed — the property that keeps failures comparable across all
+// four designs — and only then pick a replica within the target's group.
+func TestNewReplicatedPlanMatchesNewPlan(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		base := NewPlan(seed, 16, 100, ProcessFailure)
+		repl := NewReplicatedPlan(seed, 16, 100, ProcessFailure, func(int) int { return 2 })
+		if repl.TargetRank != base.TargetRank || repl.TargetIter != base.TargetIter {
+			t.Fatalf("seed %d: replicated plan targets (%d,%d), base (%d,%d)",
+				seed, repl.TargetRank, repl.TargetIter, base.TargetRank, base.TargetIter)
+		}
+		if repl.TargetReplica < 0 || repl.TargetReplica >= 2 {
+			t.Fatalf("seed %d: replica %d out of range", seed, repl.TargetReplica)
+		}
+		// An unreplicated target keeps replica 0 (the fallback-path case).
+		solo := NewReplicatedPlan(seed, 16, 100, ProcessFailure, func(int) int { return 1 })
+		if solo.TargetReplica != 0 {
+			t.Fatalf("seed %d: degree-1 target got replica %d", seed, solo.TargetReplica)
+		}
+	}
+	// Some seed must pick a non-primary replica, or the draw is broken.
+	sawShadow := false
+	for seed := int64(0); seed < 30; seed++ {
+		if NewReplicatedPlan(seed, 16, 100, ProcessFailure, func(int) int { return 2 }).TargetReplica == 1 {
+			sawShadow = true
+		}
+	}
+	if !sawShadow {
+		t.Fatal("no seed ever targeted a shadow replica")
+	}
+}
+
 func TestNewPlanBounds(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
 		p := NewPlan(seed, 16, 100, ProcessFailure)

@@ -59,6 +59,14 @@ type Process struct {
 	collSeq map[int]int // comm ctx -> collective sequence number
 	lastArr map[int]simnet.Time
 
+	// Replica-layer sequencing (see replica.go): sendSeq numbers every
+	// logical message this process emits per (comm, logical dst); recvSeq is
+	// the next sequence number this process will accept per (comm, logical
+	// src). Duplicate copies carrying an already-accepted sequence number
+	// are suppressed at delivery.
+	sendSeq map[int64]int64
+	recvSeq map[int64]int64
+
 	// stolen accumulates runtime-interference time (e.g. the ULFM failure
 	// detector's periodic agreement) to be charged at the next MPI call.
 	stolen simnet.Time
@@ -90,6 +98,12 @@ type Message struct {
 	Data    []byte
 	arrival simnet.Time
 	epoch   int
+
+	// replicated marks a copy emitted by a replica-aware communicator; seq
+	// is its logical sequence number within the (comm, src, dst) stream,
+	// used to suppress duplicate copies at delivery.
+	replicated bool
+	seq        int64
 }
 
 // Stats aggregates message-layer counters for reporting.
@@ -97,6 +111,10 @@ type Stats struct {
 	Messages   int64
 	Bytes      int64
 	Collective int64
+	// Suppressed counts duplicate replica copies discarded at delivery —
+	// the receiver-side half of replication's duplication/suppression
+	// protocol. Suppressed copies still paid wire time.
+	Suppressed int64
 }
 
 // Job is a launched MPI job: a set of processes on the cluster plus the
@@ -166,6 +184,8 @@ func (j *Job) AddProcess(node int, proc *simnet.Proc) *Process {
 		collSeq:  make(map[int]int),
 		lastArr:  make(map[int]simnet.Time),
 		inflight: make(map[int]int),
+		sendSeq:  make(map[int64]int64),
+		recvSeq:  make(map[int64]int64),
 	}
 	j.nextGID++
 	j.procs[p.gid] = p
@@ -301,6 +321,7 @@ type Comm struct {
 	members []*Process
 	rankOf  map[int]int
 	revoked bool
+	repl    *replicaInfo // non-nil for replica-aware communicators
 }
 
 // Size returns the number of ranks.

@@ -7,15 +7,28 @@ import "match/internal/simnet"
 // receiver (it only charges the sender-side overhead and NIC time). A send
 // to a failed process succeeds silently unless the failure has been
 // detected — exactly MPI's fail-stop ambiguity.
+//
+// On a replica-aware communicator, dst is a logical rank: one sequenced
+// copy goes to every current member of its replica group (see replica.go).
 func Send(r *Rank, c *Comm, dst, tag int, data []byte) error {
 	r.chargeOverheads()
 	if err := r.opError(c); err != nil {
 		return err
 	}
+	if c.repl != nil {
+		return r.sendReplicated(c, dst, tag, data)
+	}
 	to := c.Member(dst)
 	if to.failed && r.job.Detected(to.gid) {
 		return ErrProcFailed
 	}
+	return r.sendCopy(c, to, c.RankOf(r.proc.gid), tag, data, false, 0)
+}
+
+// sendCopy puts one physical copy on the wire: sender overhead, NIC and
+// latency charging, non-overtaking ordering, and the delivery event. For
+// replicated copies the delivery event also runs duplicate suppression.
+func (r *Rank) sendCopy(c *Comm, to *Process, srcRank, tag int, data []byte, replicated bool, seq int64) error {
 	cl := r.job.cluster
 	cfg := cl.Config()
 	r.sp.Compute(cfg.SendOverhead)
@@ -41,13 +54,15 @@ func Send(r *Rank, c *Comm, dst, tag int, data []byte) error {
 	r.proc.lastArr[to.gid] = arrive
 
 	msg := &Message{
-		Ctx:     c.ctx,
-		SrcGID:  r.proc.gid,
-		SrcRank: c.RankOf(r.proc.gid),
-		Tag:     tag,
-		Data:    data,
-		arrival: arrive,
-		epoch:   r.job.epoch,
+		Ctx:        c.ctx,
+		SrcGID:     r.proc.gid,
+		SrcRank:    srcRank,
+		Tag:        tag,
+		Data:       data,
+		arrival:    arrive,
+		epoch:      r.job.epoch,
+		replicated: replicated,
+		seq:        seq,
 	}
 	j := r.job
 	to.inflight[r.proc.gid]++
@@ -58,6 +73,14 @@ func Send(r *Rank, c *Comm, dst, tag int, data []byte) error {
 		}
 		if to.failed || to.proc == nil || to.proc.Exited() {
 			return // dropped on the floor, like a real NIC
+		}
+		if msg.replicated {
+			key := seqKey(msg.Ctx, msg.SrcRank)
+			if msg.seq < to.recvSeq[key] {
+				j.Stats.Suppressed++
+				return // duplicate copy from a twin replica
+			}
+			to.recvSeq[key] = msg.seq + 1
 		}
 		to.mbox = append(to.mbox, msg)
 		if to.blocked {
@@ -106,18 +129,28 @@ func Recv(r *Rank, c *Comm, src, tag int) (*Message, error) {
 			return m, nil
 		}
 		if src != AnySource {
-			from := c.Member(src)
-			if from.failed && r.job.Detected(from.gid) {
-				return nil, ErrProcFailed
+			if c.repl != nil {
+				// Replica groups have no failure detector: as long as any
+				// member lives it will produce the awaited copy; a fully
+				// dead group hangs until the replica runtime's checkpoint
+				// fallback aborts the job.
+				if err := r.replicaGroupGone(c, src); err != nil {
+					return nil, err
+				}
+			} else {
+				from := c.Member(src)
+				if from.failed && r.job.Detected(from.gid) {
+					return nil, ErrProcFailed
+				}
+				if !from.failed && from.proc != nil && from.proc.Exited() &&
+					r.proc.inflight[from.gid] == 0 {
+					// Peer finished the program without sending: protocol bug,
+					// or a rank outliving its peers. Fail fast instead of
+					// deadlocking the simulation.
+					return nil, ErrRankExited
+				}
 			}
-			if !from.failed && from.proc != nil && from.proc.Exited() &&
-				r.proc.inflight[from.gid] == 0 {
-				// Peer finished the program without sending: protocol bug,
-				// or a rank outliving its peers. Fail fast instead of
-				// deadlocking the simulation.
-				return nil, ErrRankExited
-			}
-		} else if anyDetectedFailure(c, r.job) {
+		} else if c.repl == nil && anyDetectedFailure(c, r.job) {
 			return nil, ErrProcFailed
 		}
 		r.proc.blocked = true

@@ -1,0 +1,421 @@
+// Package replica implements ReplicaFTI, MATCH's fourth fault-tolerance
+// design: process replication in the tradition of rMPI and FTHP-MPI, with
+// partial replication (PartRePer-MPI) as a performance/resilience knob.
+//
+// Every logical rank is backed by a replica group (dup-degree 2 by
+// default; ReplicaFactor selects which fraction of ranks get replicas).
+// All replicas execute the application; the replica-aware communicator in
+// internal/mpi duplicates every logical message to the whole destination
+// group and suppresses duplicate copies at delivery, so the loss of any
+// single replica is absorbed *without rollback*: survivors keep computing,
+// and the runtime merely performs a leader election and membership update
+// whose cost — not a checkpoint restore — is the recovery time.
+//
+// Replication is not free: it doubles the processes per node, duplicates
+// every message (paying NIC time, including ingress queueing when the
+// cluster models it), and adds a small per-operation sequencing overhead.
+// That steady-state cost against near-zero recovery time is precisely the
+// trade the checkpoint/restart designs make in the opposite direction.
+//
+// When an entire group is exhausted — only possible for an unreplicated
+// rank under partial replication, or a node failure taking out a
+// degenerate group — no copy of the rank's state survives, and the
+// supervisor falls back to checkpoint-only recovery: it tears the job down
+// and relaunches it restart-style, with FTI restoring the last committed
+// checkpoint.
+package replica
+
+import (
+	"fmt"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+// Config tunes the replication runtime.
+type Config struct {
+	// DupDegree is the replica-group size for replicated ranks (default 2).
+	// An explicit 1 is honored: no rank is replicated and every failure
+	// takes the checkpoint-only fallback — the degenerate baseline of a
+	// replication sweep.
+	DupDegree int
+	// ReplicaFactor is the fraction of logical ranks that get a replica
+	// group, spread evenly across the rank space (default 1: full
+	// replication; PartRePer-style partial replication below 1). Values
+	// outside (0,1] are clamped to the default; cmd/match rejects them
+	// before they get here.
+	ReplicaFactor float64
+	// PerOpOverhead is the sequencing/envelope cost the replica layer adds
+	// to every point-to-point operation (default 1µs).
+	PerOpOverhead simnet.Time
+	// FailoverDetect is the time for the runtime daemons to notice a dead
+	// replica (SIGCHLD-style, default 5ms).
+	FailoverDetect simnet.Time
+	// ElectionDelay is the leader election plus group-membership update
+	// after a replica death (default 15ms). Detection plus election
+	// quiesces every survivor once — the runtime's global fault
+	// notification — so a failover's recovery time is also what the
+	// application actually pays, just without recomputing anything.
+	ElectionDelay simnet.Time
+
+	// Checkpoint-only fallback (an exhausted group forces a restart-style
+	// relaunch); defaults mirror the restart design's launcher model.
+	DetectDelay     simnet.Time
+	TeardownDelay   simnet.Time
+	RelaunchBase    simnet.Time
+	RelaunchPerProc simnet.Time
+	// MaxRelaunches bounds fallback loops (default 8).
+	MaxRelaunches int
+	// OnLaunch, when set, runs on every job incarnation right after launch
+	// (the harness installs per-run job knobs with it).
+	OnLaunch func(*mpi.Job)
+}
+
+// DefaultConfig returns the calibrated replication cost model.
+func DefaultConfig() Config {
+	return Config{
+		DupDegree:       2,
+		ReplicaFactor:   1,
+		PerOpOverhead:   1 * simnet.Microsecond,
+		FailoverDetect:  5 * simnet.Millisecond,
+		ElectionDelay:   15 * simnet.Millisecond,
+		DetectDelay:     500 * simnet.Millisecond,
+		TeardownDelay:   500 * simnet.Millisecond,
+		RelaunchBase:    5 * simnet.Second,
+		RelaunchPerProc: 4 * simnet.Millisecond,
+		MaxRelaunches:   8,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	def := DefaultConfig()
+	if c.DupDegree < 1 {
+		c.DupDegree = def.DupDegree
+	}
+	if c.ReplicaFactor <= 0 || c.ReplicaFactor > 1 {
+		c.ReplicaFactor = def.ReplicaFactor
+	}
+	if c.PerOpOverhead == 0 {
+		c.PerOpOverhead = def.PerOpOverhead
+	}
+	if c.FailoverDetect == 0 {
+		c.FailoverDetect = def.FailoverDetect
+	}
+	if c.ElectionDelay == 0 {
+		c.ElectionDelay = def.ElectionDelay
+	}
+	if c.DetectDelay == 0 {
+		c.DetectDelay = def.DetectDelay
+	}
+	if c.TeardownDelay == 0 {
+		c.TeardownDelay = def.TeardownDelay
+	}
+	if c.RelaunchBase == 0 {
+		c.RelaunchBase = def.RelaunchBase
+	}
+	if c.RelaunchPerProc == 0 {
+		c.RelaunchPerProc = def.RelaunchPerProc
+	}
+	if c.MaxRelaunches == 0 {
+		c.MaxRelaunches = def.MaxRelaunches
+	}
+}
+
+// Layout is the replica-group structure of an n-rank job: which ranks are
+// replicated, at what degree, and where every replica runs.
+type Layout struct {
+	Procs  int     // logical rank count
+	Degree []int   // replicas per logical rank
+	Nodes  [][]int // node of each replica, per logical rank
+	Total  int     // physical process count
+}
+
+// NewLayout computes the deterministic replica layout for n logical ranks
+// on a cluster of numNodes nodes. Primaries follow the block placement of
+// mpi.Launch; replica k of a rank lands numNodes/DupDegree nodes away, so
+// no two members of a group share a node (when the cluster has more than
+// one node) and a node failure can exhaust only degenerate groups.
+func NewLayout(n, numNodes int, cfg Config) Layout {
+	cfg.fillDefaults()
+	l := Layout{Procs: n, Degree: make([]int, n), Nodes: make([][]int, n)}
+	offset := numNodes / cfg.DupDegree
+	if offset < 1 {
+		offset = 1
+	}
+	for i := 0; i < n; i++ {
+		deg := 1
+		// Spread the replicated ranks evenly over the rank space.
+		if int(cfg.ReplicaFactor*float64(i+1)) > int(cfg.ReplicaFactor*float64(i)) {
+			deg = cfg.DupDegree
+		}
+		l.Degree[i] = deg
+		prim := i * numNodes / n
+		for k := 0; k < deg; k++ {
+			l.Nodes[i] = append(l.Nodes[i], (prim+k*offset)%numNodes)
+		}
+		l.Total += deg
+	}
+	return l
+}
+
+// DegreeOf reports the replica-group size of a logical rank (the shape
+// fault.NewReplicatedPlan needs).
+func (l Layout) DegreeOf(rank int) int { return l.Degree[rank] }
+
+// Replicated counts the ranks backed by more than one replica.
+func (l Layout) Replicated() int {
+	n := 0
+	for _, d := range l.Degree {
+		if d > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveryKind distinguishes the two recovery paths.
+type RecoveryKind int
+
+const (
+	// Failover is the rollback-free path: a replica died, a survivor took
+	// over after a leader election and membership update.
+	Failover RecoveryKind = iota
+	// Relaunch is the checkpoint-only fallback: a whole group died and the
+	// job was redeployed from the last committed checkpoint.
+	Relaunch
+)
+
+func (k RecoveryKind) String() string {
+	if k == Relaunch {
+		return "relaunch"
+	}
+	return "failover"
+}
+
+// Recovery records one recovery event, failover or fallback.
+type Recovery struct {
+	Kind        RecoveryKind
+	Rank        int // logical rank involved
+	Replica     int // replica index that died
+	FailedAt    simnet.Time
+	CompletedAt simnet.Time
+}
+
+// Duration is the MPI recovery time for this event.
+func (r Recovery) Duration() simnet.Time { return r.CompletedAt - r.FailedAt }
+
+// Supervisor runs an n-rank job under replication: it launches the replica
+// groups, absorbs single-replica failures by failover, and relaunches the
+// job from checkpoints when a group is exhausted.
+type Supervisor struct {
+	cluster *simnet.Cluster
+	cfg     Config
+	layout  Layout
+	main    func(r *mpi.Rank, world *mpi.Comm, replica int)
+
+	// Jobs lists every launched incarnation, newest last.
+	Jobs []*mpi.Job
+	// Recoveries lists failovers and fallback relaunches in order.
+	Recoveries []Recovery
+	// GaveUp is set when MaxRelaunches was exhausted.
+	GaveUp bool
+
+	world      *mpi.Comm
+	rankDone   []bool
+	restarting bool
+}
+
+// Supervise launches n logical ranks under replication and returns the
+// supervisor; drive the cluster's scheduler to completion afterwards. main
+// runs once per physical replica, with the replica-aware world
+// communicator and the replica index (0 = initial primary).
+func Supervise(c *simnet.Cluster, cfg Config, n int, main func(*mpi.Rank, *mpi.Comm, int)) *Supervisor {
+	cfg.fillDefaults()
+	s := &Supervisor{
+		cluster:  c,
+		cfg:      cfg,
+		layout:   NewLayout(n, c.NumNodes(), cfg),
+		main:     main,
+		rankDone: make([]bool, n),
+	}
+	s.launch(0)
+	return s
+}
+
+// Layout returns the replica-group structure in use.
+func (s *Supervisor) Layout() Layout { return s.layout }
+
+// World returns the current incarnation's replica-aware world.
+func (s *Supervisor) World() *mpi.Comm { return s.world }
+
+// CurrentJob returns the newest incarnation.
+func (s *Supervisor) CurrentJob() *mpi.Job { return s.Jobs[len(s.Jobs)-1] }
+
+// Done reports whether every logical rank completed in some incarnation.
+func (s *Supervisor) Done() bool {
+	for _, d := range s.rankDone {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Failovers counts the rollback-free recoveries performed.
+func (s *Supervisor) Failovers() int { return s.count(Failover) }
+
+// Relaunches counts the checkpoint-only fallbacks performed.
+func (s *Supervisor) Relaunches() int { return s.count(Relaunch) }
+
+func (s *Supervisor) count(k RecoveryKind) int {
+	n := 0
+	for _, r := range s.Recoveries {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// launch starts one physical incarnation of the whole replicated job.
+func (s *Supervisor) launch(delay simnet.Time) {
+	s.restarting = false
+	job := mpi.NewJob(s.cluster)
+	job.PerOpOverhead = s.cfg.PerOpOverhead
+	n := s.layout.Procs
+	groups := make([][]*mpi.Process, n)
+	// Primaries first, then the replica tiers, so primary GIDs mirror the
+	// rank order of an unreplicated launch.
+	for i := 0; i < n; i++ {
+		groups[i] = []*mpi.Process{job.AddProcess(s.layout.Nodes[i][0], nil)}
+	}
+	for k := 1; k < s.cfg.DupDegree; k++ {
+		for i := 0; i < n; i++ {
+			if k < s.layout.Degree[i] {
+				groups[i] = append(groups[i], job.AddProcess(s.layout.Nodes[i][k], nil))
+			}
+		}
+	}
+	world := job.NewReplicaComm(groups)
+	job.SetWorld(world)
+	if s.cfg.OnLaunch != nil {
+		s.cfg.OnLaunch(job)
+	}
+	s.Jobs = append(s.Jobs, job)
+	s.world = world
+	for i := 0; i < n; i++ {
+		for k, p := range groups[i] {
+			i, k, p := i, k, p
+			sp := s.cluster.StartProc(p.NodeID(), delay, func(sp *simnet.Proc) {
+				s.main(mpi.Bind(job, p, sp), world, k)
+			})
+			p.SetSimProc(sp)
+			sp.OnExit(func(sp *simnet.Proc) {
+				s.onExit(job, world, i, k, p, sp)
+			})
+		}
+	}
+}
+
+// onExit is the runtime daemon's process watcher: it classifies every
+// termination and drives failover or fallback.
+func (s *Supervisor) onExit(job *mpi.Job, world *mpi.Comm, rank, idx int, p *mpi.Process, sp *simnet.Proc) {
+	if job != s.CurrentJob() {
+		return // stale incarnation
+	}
+	switch sp.Status() {
+	case simnet.ExitOK:
+		s.rankDone[rank] = true
+	case simnet.ExitKilled:
+		job.MarkFailed(p.GID())
+		if s.restarting || job.Aborted() {
+			return // kills caused by our own teardown
+		}
+		if s.groupAlive(world, rank) {
+			s.failover(job, world, rank, idx, p, sp.Now())
+		} else if !s.groupCompleted(world, rank) {
+			s.fallback(job, rank, sp.Now())
+		}
+	}
+}
+
+// groupAlive reports whether any member of the rank's group is still
+// running.
+func (s *Supervisor) groupAlive(world *mpi.Comm, rank int) bool {
+	for _, m := range world.ReplicaGroup(rank) {
+		sp := m.SimProc()
+		if !m.Failed() && (sp == nil || !sp.Exited()) {
+			return true
+		}
+	}
+	return false
+}
+
+// groupCompleted reports whether some member of the rank's group already
+// finished the application (the rank needs no recovery at all).
+func (s *Supervisor) groupCompleted(world *mpi.Comm, rank int) bool {
+	for _, m := range world.ReplicaGroup(rank) {
+		sp := m.SimProc()
+		if !m.Failed() && sp != nil && sp.Exited() && sp.Status() == simnet.ExitOK {
+			return true
+		}
+	}
+	return false
+}
+
+// failover is the rollback-free path: elect a new leader among the
+// survivors, update the group membership everywhere, and keep going. The
+// application never re-executes an instruction.
+func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, dead *mpi.Process, failedAt simnet.Time) {
+	completed := failedAt + s.cfg.FailoverDetect + s.cfg.ElectionDelay
+	s.Recoveries = append(s.Recoveries, Recovery{
+		Kind: Failover, Rank: rank, Replica: idx,
+		FailedAt: failedAt, CompletedAt: completed,
+	})
+	s.cluster.Scheduler().At(completed, func() {
+		if job != s.CurrentJob() || job.Aborted() {
+			return
+		}
+		world.PruneReplica(dead.GID())
+		world.PromoteLeader(rank)
+		// The global fault notification quiesces every surviving process
+		// for the detection+election window — the whole recovery cost;
+		// nothing is rolled back or recomputed.
+		quiesce := s.cfg.FailoverDetect + s.cfg.ElectionDelay
+		for r := 0; r < s.layout.Procs; r++ {
+			for _, m := range world.ReplicaGroup(r) {
+				if !m.Failed() {
+					job.Steal(m.GID(), quiesce)
+				}
+			}
+		}
+	})
+}
+
+// fallback is the checkpoint-only path: no copy of the rank's state
+// survives, so replication has nothing left to offer — tear the job down
+// and redeploy it; FTI then restores the last committed checkpoint.
+func (s *Supervisor) fallback(job *mpi.Job, rank int, failedAt simnet.Time) {
+	s.restarting = true
+	s.cluster.Scheduler().After(s.cfg.DetectDelay, func() {
+		abortedAt := s.cluster.Now()
+		job.Abort()
+		if s.Relaunches() >= s.cfg.MaxRelaunches {
+			s.GaveUp = true
+			return
+		}
+		delay := s.cfg.TeardownDelay + s.cfg.RelaunchBase +
+			simnet.Time(s.layout.Total)*s.cfg.RelaunchPerProc
+		s.Recoveries = append(s.Recoveries, Recovery{
+			Kind: Relaunch, Rank: rank,
+			FailedAt: failedAt, CompletedAt: abortedAt + delay,
+		})
+		s.launch(delay)
+	})
+}
+
+// String summarizes the supervisor state (diagnostics).
+func (s *Supervisor) String() string {
+	return fmt.Sprintf("replica: %d ranks (%d replicated, %d procs), %d failovers, %d relaunches",
+		s.layout.Procs, s.layout.Replicated(), s.layout.Total, s.Failovers(), s.Relaunches())
+}

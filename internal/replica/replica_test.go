@@ -1,0 +1,180 @@
+package replica
+
+import (
+	"testing"
+
+	"match/internal/mpi"
+	"match/internal/simnet"
+)
+
+func TestLayoutFullReplication(t *testing.T) {
+	l := NewLayout(8, 4, Config{})
+	if l.Total != 16 || l.Replicated() != 8 {
+		t.Fatalf("layout = %+v, want 16 procs, 8 replicated ranks", l)
+	}
+	for i, nodes := range l.Nodes {
+		if len(nodes) != 2 {
+			t.Fatalf("rank %d has %d replicas, want 2", i, len(nodes))
+		}
+		if nodes[0] == nodes[1] {
+			t.Fatalf("rank %d replicas co-located on node %d", i, nodes[0])
+		}
+	}
+}
+
+func TestLayoutPartialReplication(t *testing.T) {
+	l := NewLayout(8, 4, Config{ReplicaFactor: 0.5})
+	if l.Replicated() != 4 {
+		t.Fatalf("replicated = %d, want 4 of 8", l.Replicated())
+	}
+	if l.Total != 12 {
+		t.Fatalf("total procs = %d, want 12", l.Total)
+	}
+	// Replicated ranks must be spread, not clustered at the front.
+	if l.Degree[0] == l.Degree[1] {
+		t.Fatalf("degrees %v not alternating for factor 0.5", l.Degree)
+	}
+}
+
+// An explicit DupDegree of 1 is the unreplicated baseline, not a typo to
+// silently correct.
+func TestLayoutDupDegreeOne(t *testing.T) {
+	l := NewLayout(8, 4, Config{DupDegree: 1})
+	if l.Total != 8 || l.Replicated() != 0 {
+		t.Fatalf("layout = %+v, want 8 procs, 0 replicated ranks", l)
+	}
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	a := NewLayout(64, 32, Config{ReplicaFactor: 0.7, DupDegree: 3})
+	b := NewLayout(64, 32, Config{ReplicaFactor: 0.7, DupDegree: 3})
+	if a.Total != b.Total {
+		t.Fatalf("layouts differ: %d vs %d procs", a.Total, b.Total)
+	}
+	for i := range a.Nodes {
+		for k := range a.Nodes[i] {
+			if a.Nodes[i][k] != b.Nodes[i][k] {
+				t.Fatalf("placement differs at rank %d replica %d", i, k)
+			}
+		}
+	}
+}
+
+// workloop is a minimal SPMD main: iterations of compute + allreduce, with
+// an optional kill of one specific (rank, replica) at one iteration.
+func workloop(t *testing.T, iters, killRank, killReplica, killIter int) func(*mpi.Rank, *mpi.Comm, int) {
+	return func(r *mpi.Rank, world *mpi.Comm, idx int) {
+		rank := r.Rank(world)
+		for it := 0; it < iters; it++ {
+			if it == killIter && rank == killRank && idx == killReplica {
+				r.Die()
+			}
+			r.Compute(100 * simnet.Microsecond)
+			sum, err := mpi.AllreduceF64Scalar(r, world, 1, mpi.OpSum)
+			if err != nil {
+				t.Errorf("rank %d replica %d iter %d: %v", rank, idx, it, err)
+				return
+			}
+			if int(sum) != world.Size() {
+				t.Errorf("rank %d replica %d iter %d: sum %v != %d", rank, idx, it, sum, world.Size())
+				return
+			}
+		}
+	}
+}
+
+// A replica death must be absorbed by one failover: no relaunch, every
+// logical rank completes, and the recovery duration is detect + election.
+func TestSupervisorFailover(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	sup := Supervise(c, Config{}, 4, workloop(t, 10, 2, 1, 3))
+	c.Run()
+	if !sup.Done() {
+		t.Fatal("not all logical ranks completed")
+	}
+	if sup.Failovers() != 1 || sup.Relaunches() != 0 {
+		t.Fatalf("failovers=%d relaunches=%d, want 1/0", sup.Failovers(), sup.Relaunches())
+	}
+	rec := sup.Recoveries[0]
+	if rec.Kind != Failover || rec.Rank != 2 || rec.Replica != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	want := DefaultConfig().FailoverDetect + DefaultConfig().ElectionDelay
+	if rec.Duration() != want {
+		t.Fatalf("failover duration %v, want %v", rec.Duration(), want)
+	}
+	// After the membership update the dead replica is pruned and the
+	// survivor leads the group.
+	if d := sup.World().ReplicaDegree(2); d != 1 {
+		t.Fatalf("group degree after failover = %d, want 1", d)
+	}
+	if sup.World().Member(2).Failed() {
+		t.Fatal("leader of rank 2 is still the dead replica")
+	}
+}
+
+// Killing the only replica of an unreplicated rank (partial replication)
+// must trigger the checkpoint-only fallback: the whole job relaunches and
+// then completes.
+func TestSupervisorExhaustionFallsBackToRelaunch(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	cfg := Config{ReplicaFactor: 0.5}
+	lay := NewLayout(4, 4, cfg)
+	victim := -1
+	for i, d := range lay.Degree {
+		if d == 1 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no unreplicated rank in layout")
+	}
+	killed := false
+	sup := Supervise(c, cfg, 4, func(r *mpi.Rank, world *mpi.Comm, idx int) {
+		// Kill the unreplicated rank once, in the first incarnation only.
+		if !killed && r.Rank(world) == victim && idx == 0 {
+			killed = true
+			r.Die()
+		}
+		workloop(t, 5, -1, -1, -1)(r, world, idx)
+	})
+	c.Run()
+	if !sup.Done() {
+		t.Fatal("job never completed after fallback")
+	}
+	if sup.Relaunches() != 1 {
+		t.Fatalf("relaunches = %d, want 1", sup.Relaunches())
+	}
+	if len(sup.Jobs) != 2 {
+		t.Fatalf("incarnations = %d, want 2", len(sup.Jobs))
+	}
+	if sup.GaveUp {
+		t.Fatal("supervisor gave up")
+	}
+	// The fallback pays restart-scale costs, far above a failover.
+	var rel Recovery
+	for _, r := range sup.Recoveries {
+		if r.Kind == Relaunch {
+			rel = r
+		}
+	}
+	if rel.Duration() < simnet.Second {
+		t.Fatalf("relaunch duration %v suspiciously cheap", rel.Duration())
+	}
+}
+
+// Two identical supervised runs must produce identical virtual timelines.
+func TestSupervisorDeterministic(t *testing.T) {
+	run := func() (simnet.Time, int) {
+		c := simnet.NewCluster(simnet.Config{Nodes: 4, ModelIngress: true})
+		sup := Supervise(c, Config{}, 4, workloop(t, 10, 1, 0, 4))
+		end := c.Run()
+		return end, len(sup.Recoveries)
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if t1 != t2 || r1 != r2 {
+		t.Fatalf("runs diverged: (%v,%d) vs (%v,%d)", t1, r1, t2, r2)
+	}
+}

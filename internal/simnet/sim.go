@@ -159,6 +159,14 @@ type Config struct {
 	IntraBWBps   float64 // intra-node copy bandwidth, bytes per second
 	SendOverhead Time    // per-message CPU cost on the sender
 	RecvOverhead Time    // per-message CPU cost on the receiver
+
+	// ModelIngress additionally serializes traffic on the *receiver's* NIC.
+	// The seed model charges egress only, which makes duplicate inbound
+	// flows free at their destination; replication-based fault tolerance
+	// (ReplicaFTI) turns this on so the duplicated message streams arriving
+	// at replicated ranks pay realistic queueing delay. Off by default so
+	// the checkpoint/restart designs keep the original calibrated timings.
+	ModelIngress bool
 }
 
 // DefaultConfig mirrors the paper's cluster at §V-A: 32 nodes, 28 cores per
@@ -182,6 +190,7 @@ func DefaultConfig() Config {
 type Node struct {
 	ID      int
 	nicFree Time // time at which the egress NIC becomes idle
+	rxFree  Time // time at which the ingress NIC becomes idle (ModelIngress)
 	alive   bool
 }
 
@@ -294,6 +303,15 @@ func (c *Cluster) transferCost(f, t *Node, size int, now Time) (depart, arrive T
 			depart = f.nicFree
 		}
 		f.nicFree = depart + xfer
+		if c.cfg.ModelIngress {
+			start := depart
+			if t.rxFree > start {
+				start = t.rxFree
+			}
+			t.rxFree = start + xfer
+			arrive = start + xfer + lat
+			return depart, arrive
+		}
 	}
 	arrive = depart + xfer + lat
 	return depart, arrive

@@ -1,9 +1,10 @@
 // Package match is the public facade of MATCH-Go, a reproduction of
 // "MATCH: An MPI Fault Tolerance Benchmark Suite" (IISWC 2020) as a pure
-// Go library: six HPC proxy applications wired to three MPI fault-
-// tolerance designs (FTI checkpointing combined with Restart, Reinit, or
-// ULFM recovery) running on a deterministic discrete-event cluster
-// simulation.
+// Go library: six HPC proxy applications wired to four MPI fault-
+// tolerance designs — the paper's three (FTI checkpointing combined with
+// Restart, Reinit, or ULFM recovery) plus ReplicaFTI, a replication-based
+// design in the spirit of the paper's §V-E extension invitation — running
+// on a deterministic discrete-event cluster simulation.
 //
 // Typical use:
 //
@@ -26,6 +27,7 @@ import (
 	"match/internal/apps/appkit"
 	"match/internal/core"
 	"match/internal/depanal"
+	"match/internal/replica"
 )
 
 // Re-exported harness types.
@@ -50,13 +52,18 @@ type (
 	App = appkit.App
 	// Context is the per-rank execution context handed to applications.
 	Context = appkit.Context
+	// ReplicaConfig tunes the replication design (dup degree, partial
+	// replication factor, failover and fallback cost model); set it as
+	// Config.Replica.
+	ReplicaConfig = replica.Config
 )
 
-// The three fault-tolerance designs.
+// The four fault-tolerance designs.
 const (
 	RestartFTI = core.RestartFTI
 	ReinitFTI  = core.ReinitFTI
 	UlfmFTI    = core.UlfmFTI
+	ReplicaFTI = core.ReplicaFTI
 )
 
 // The three input problem sizes.
@@ -68,6 +75,13 @@ const (
 
 // Run executes one configuration and returns its breakdown.
 func Run(cfg Config) (Breakdown, error) { return core.Run(cfg) }
+
+// Designs lists the fault-tolerance designs in plotting order.
+func Designs() []Design { return core.Designs() }
+
+// ParseDesign resolves a design name case-insensitively ("replica",
+// "ULFM-FTI", ...), with an error listing valid names on a typo.
+func ParseDesign(name string) (Design, error) { return core.ParseDesign(name) }
 
 // RunAveraged repeats a configuration (the paper averaged five runs) and
 // returns the mean breakdown plus individual results.
