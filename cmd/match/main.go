@@ -5,6 +5,8 @@
 //
 //	match -app HPCCG -design reinit -procs 64 -input small -fault
 //	match -design replica -replica-factor 0.5 -fault
+//	match -design ulfm -faults 3                      # multi-failure campaign
+//	match -fault-schedule "3@40,3@55:after=1"         # explicit schedule
 //	match -list-designs
 package main
 
@@ -15,6 +17,7 @@ import (
 	"strings"
 
 	"match/internal/core"
+	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/replica"
 )
@@ -27,6 +30,9 @@ func main() {
 	nodes := flag.Int("nodes", 32, "number of compute nodes")
 	input := flag.String("input", "small", "input problem size: small, medium, large")
 	faultOn := flag.Bool("fault", false, "inject one random process failure (Figure 4)")
+	faults := flag.Int("faults", 0, "inject this many scheduled failures (campaign mode; implies -fault)")
+	faultSchedule := flag.String("fault-schedule", "",
+		`explicit failure schedule, e.g. "3@40,3@55:after=1" (rank@iter[:after=N][:replica=R][:kind=node])`)
 	seed := flag.Int64("seed", 1, "fault-injection seed")
 	level := flag.Int("level", 1, "FTI checkpoint level (1-4)")
 	stride := flag.Int("stride", 10, "checkpoint every N iterations")
@@ -42,6 +48,18 @@ func main() {
 		}
 		return
 	}
+	if *level < 1 || *level > 4 {
+		fmt.Fprintf(os.Stderr, "-level %d invalid (FTI checkpoint levels are 1-4: L1 local, L2 partner copy, L3 Reed-Solomon, L4 PFS)\n", *level)
+		os.Exit(2)
+	}
+	if *faults < 0 {
+		fmt.Fprintf(os.Stderr, "-faults %d invalid (want >= 0)\n", *faults)
+		os.Exit(2)
+	}
+	if *faults > 0 && *faultSchedule != "" {
+		fmt.Fprintln(os.Stderr, "-faults and -fault-schedule are mutually exclusive (the schedule already fixes the failure count)")
+		os.Exit(2)
+	}
 	if *dupDegree < 0 {
 		fmt.Fprintf(os.Stderr, "-dup-degree %d invalid (want >= 1, or 0 for the default)\n", *dupDegree)
 		os.Exit(2)
@@ -55,7 +73,8 @@ func main() {
 		App:         *app,
 		Procs:       *procs,
 		Nodes:       *nodes,
-		InjectFault: *faultOn,
+		InjectFault: *faultOn || *faults > 0,
+		Faults:      *faults,
 		FaultSeed:   *seed,
 		FTILevel:    fti.Level(*level),
 		CkptStride:  *stride,
@@ -63,6 +82,14 @@ func main() {
 			DupDegree:     *dupDegree,
 			ReplicaFactor: *replicaFactor,
 		},
+	}
+	if *faultSchedule != "" {
+		sched, err := fault.ParseSchedule(*faultSchedule)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Schedule = &sched
 	}
 	d, err := core.ParseDesign(*design)
 	if err != nil {
@@ -87,11 +114,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s / %s / %d procs on %d nodes / %s input / fault=%t (avg of %d)\n",
-		cfg.App, cfg.Design, cfg.Procs, cfg.Nodes, cfg.Input, cfg.InjectFault, *reps)
+	fmt.Printf("%s / %s / %d procs on %d nodes / %s input / faults=%d (avg of %d)\n",
+		cfg.App, cfg.Design, cfg.Procs, cfg.Nodes, cfg.Input, cfg.FaultCount(), *reps)
 	fmt.Printf("  application     %10.3f s\n", bd.App.Seconds())
 	fmt.Printf("  write ckpts     %10.3f s  (%d checkpoints)\n", bd.Ckpt.Seconds(), bd.CkptCount)
-	fmt.Printf("  recovery        %10.3f s  (%d recoveries)\n", bd.Recovery.Seconds(), bd.Recoveries)
+	fmt.Printf("  recovery        %10.3f s  (%d recoveries, %d faults fired)\n",
+		bd.Recovery.Seconds(), bd.Recoveries, bd.FaultsInjected)
 	fmt.Printf("  total           %10.3f s\n", bd.Total.Seconds())
 	fmt.Printf("  signature       %g\n", bd.Signature)
 	fmt.Printf("  traffic         %d messages, %d bytes\n", bd.Messages, bd.NetBytes)

@@ -10,6 +10,7 @@
 //	matchsuite -ratios               # headline ratios from Fig. 6 data
 //	matchsuite -verify               # recovered-answer correctness matrix
 //	matchsuite -csv out.csv -fig 5   # raw series for plotting
+//	matchsuite -campaign -max-faults 3 -j 8   # multi-failure sweep, k=0..3
 package main
 
 import (
@@ -28,14 +29,35 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure")
 	ratios := flag.Bool("ratios", false, "compute §V-C headline ratios (runs Fig. 6 matrix)")
 	verify := flag.Bool("verify", false, "verify recovered answers equal failure-free answers")
+	campaign := flag.Bool("campaign", false, "run the multi-failure campaign sweep (k = 0..-max-faults failures per run)")
+	maxFaults := flag.Int("max-faults", 3, "campaign mode: largest failure count per run")
+	procs := flag.Int("procs", 0, "campaign mode: process count (default 64)")
 	appsFlag := flag.String("apps", "", "comma-separated app filter")
 	scalesFlag := flag.String("scales", "", "comma-separated process-count filter")
 	reps := flag.Int("reps", 1, "repetitions per configuration (paper: 5)")
+	workers := flag.Int("j", 0, "sweep worker pool size (default GOMAXPROCS); result order is unaffected")
 	csvPath := flag.String("csv", "", "also write raw results as CSV")
 	seed := flag.Int64("seed", 1, "base fault seed")
 	flag.Parse()
 
-	opts := core.SuiteOptions{Reps: *reps, Seed: *seed}
+	if *maxFaults < 0 {
+		fmt.Fprintf(os.Stderr, "-max-faults %d invalid (want >= 0; 0 runs the failure-free baseline only)\n", *maxFaults)
+		os.Exit(2)
+	}
+	if *campaign {
+		if *fig != 0 || *all || *ratios || *verify || *list {
+			fmt.Fprintln(os.Stderr, "-campaign is exclusive with -fig/-all/-ratios/-verify/-list")
+			os.Exit(2)
+		}
+		if *scalesFlag != "" {
+			fmt.Fprintln(os.Stderr, "-campaign runs at a single scale: use -procs instead of -scales")
+			os.Exit(2)
+		}
+	} else if *procs != 0 {
+		fmt.Fprintln(os.Stderr, "-procs only applies to -campaign; figure sweeps take -scales")
+		os.Exit(2)
+	}
+	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
 	}
@@ -53,6 +75,22 @@ func main() {
 	switch {
 	case *list:
 		core.WriteTableI(os.Stdout)
+	case *campaign:
+		copts := core.CampaignOptions{
+			Apps:      opts.Apps,
+			Procs:     *procs,
+			MaxFaults: *maxFaults,
+			Reps:      *reps,
+			Seed:      *seed,
+			Workers:   *workers,
+		}
+		results, err := core.RunCampaign(copts, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		core.ComputeCrossover(results).Write(os.Stdout)
+		writeCSV(*csvPath, results)
 	case *verify:
 		if err := runVerify(opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -112,7 +150,7 @@ func runVerify(opts core.SuiteOptions) error {
 	opts.Reps = 1
 	appsList := opts.Apps
 	if len(appsList) == 0 {
-		appsList = []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}
+		appsList = core.TableIApps()
 	}
 	fmt.Println("== Recovery correctness verification ==")
 	for _, app := range appsList {

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CampaignOptions shapes a multi-failure sweep: for every app and design,
+// run campaigns of k = 0..MaxFaults scheduled failures and measure how
+// recovery time and total overhead grow with the failure count. This is
+// the experiment the paper's single-failure protocol (Figure 4) cannot
+// express, and the axis on which replication's rollback-free failover is
+// expected to pull away from the checkpoint/restart designs.
+type CampaignOptions struct {
+	Apps    []string // default: all six
+	Designs []Design // default: all four
+	Procs   int      // default: DefaultProcs
+	Input   InputSize
+	// MaxFaults is K: the sweep covers k = 0..K failures per run. Zero is
+	// meaningful — a failure-free baseline-only sweep; negative selects
+	// the default of 3.
+	MaxFaults int
+	Reps      int // repetitions per cell (default 1)
+	Seed      int64
+	// Workers bounds the sweep worker pool; 0 means GOMAXPROCS. Campaign
+	// matrices multiply the figure run count by K+1, so they always run on
+	// the pool.
+	Workers int
+}
+
+func (o *CampaignOptions) fill() {
+	if len(o.Apps) == 0 {
+		o.Apps = TableIApps()
+	}
+	if len(o.Designs) == 0 {
+		o.Designs = Designs()
+	}
+	if o.Procs == 0 {
+		o.Procs = DefaultProcs
+	}
+	if o.MaxFaults < 0 {
+		o.MaxFaults = 3
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// CampaignConfigs enumerates the campaign run matrix: app x k x design,
+// k = 0..MaxFaults. A k=1 cell is configured exactly like the paper's
+// single-failure runs (same seed, same draw), so campaign output embeds
+// the calibrated Figure 6/9 numbers verbatim.
+func CampaignConfigs(opts CampaignOptions) []Config {
+	opts.fill()
+	var out []Config
+	for _, app := range opts.Apps {
+		for k := 0; k <= opts.MaxFaults; k++ {
+			for _, d := range opts.Designs {
+				out = append(out, Config{
+					App:         app,
+					Design:      d,
+					Procs:       opts.Procs,
+					Input:       opts.Input,
+					InjectFault: k > 0,
+					Faults:      k,
+					FaultSeed:   opts.Seed,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunCampaign executes the campaign matrix on the sweep worker pool,
+// writes the per-app tables (recovery time and total overhead vs failure
+// count, per design) to w, and returns the raw results.
+func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
+	cfgs := CampaignConfigs(opts) // fills defaults on its own copy
+	results, err := RunConfigs(cfgs, opts.Reps, opts.Workers)
+	if err != nil {
+		return results, err
+	}
+	WriteCampaign(w, results)
+	return results, nil
+}
+
+// WriteCampaign renders campaign results: one block per application, one
+// row per (failure count, design), with the execution-time breakdown and
+// the total overhead relative to that design's own failure-free (k=0)
+// campaign cell.
+func WriteCampaign(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "== Multi-failure campaign: recovery time and total overhead vs failure count ==")
+	byApp := map[string][]Result{}
+	var apps []string
+	base := map[string]baseTotal{}
+	for _, r := range results {
+		if _, ok := byApp[r.Config.App]; !ok {
+			apps = append(apps, r.Config.App)
+		}
+		byApp[r.Config.App] = append(byApp[r.Config.App], r)
+		if r.Config.FaultCount() == 0 {
+			base[baselineKey(r.Config)] = baseTotal{t: r.Breakdown.Total.Seconds(), ok: true}
+		}
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		rs := byApp[app]
+		sort.SliceStable(rs, func(i, j int) bool {
+			if a, b := rs[i].Config.FaultCount(), rs[j].Config.FaultCount(); a != b {
+				return a < b
+			}
+			return rs[i].Config.Design < rs[j].Config.Design
+		})
+		fmt.Fprintf(w, "\n-- %s --\n", app)
+		fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s %12s\n",
+			"faults", "design", "recovered", "recovery(s)", "total(s)", "overhead(s)", "overhead(%)")
+		for _, r := range rs {
+			bd := r.Breakdown
+			over, overPct := "", ""
+			if b := base[baselineKey(r.Config)]; b.ok {
+				d := bd.Total.Seconds() - b.t
+				over = fmt.Sprintf("%12.3f", d)
+				if b.t > 0 {
+					overPct = fmt.Sprintf("%11.1f%%", 100*d/b.t)
+				}
+			}
+			fmt.Fprintf(w, "%-8d %-12s %10d %12.3f %12.3f %12s %12s\n",
+				r.Config.FaultCount(), r.Config.Design, bd.Recoveries,
+				bd.Recovery.Seconds(), bd.Total.Seconds(), over, overPct)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// baseTotal is a present/absent failure-free total (seconds).
+type baseTotal struct {
+	t  float64
+	ok bool
+}
+
+func baselineKey(c Config) string {
+	return fmt.Sprintf("%s/%s/p%d/%s", c.App, c.Design, c.Procs, c.Input)
+}

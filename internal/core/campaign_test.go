@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"match/internal/fault"
+)
+
+// A k=1 campaign cell must reproduce today's single-failure run
+// byte-for-byte: same schedule draw, same breakdown. This is the
+// compatibility contract that keeps every calibrated figure valid under
+// the campaign generalization.
+func TestCampaignK1MatchesLegacySingleFailure(t *testing.T) {
+	for _, d := range Designs() {
+		params := tinyParams("HPCCG")
+		params.CkptStride = 3
+		legacy := Config{App: "HPCCG", Design: d, Procs: 8, Nodes: 4,
+			Params: params, InjectFault: true, FaultSeed: 7}
+		viaK := legacy
+		viaK.Faults = 1
+		a, err := Run(legacy)
+		if err != nil {
+			t.Fatalf("%v legacy: %v", d, err)
+		}
+		b, err := Run(viaK)
+		if err != nil {
+			t.Fatalf("%v k=1: %v", d, err)
+		}
+		if a != b {
+			t.Fatalf("%v: k=1 campaign diverges from legacy single failure:\n%+v\n%+v", d, a, b)
+		}
+	}
+}
+
+// Multi-failure campaigns must complete on every design with every scheduled
+// failure recovered and a deterministic breakdown.
+func TestMultiFailureEveryDesign(t *testing.T) {
+	for _, app := range []string{"HPCCG", "CoMD"} {
+		for _, d := range Designs() {
+			for _, k := range []int{2, 3} {
+				params := tinyParams(app)
+				params.CkptStride = 3
+				cfg := Config{App: app, Design: d, Procs: 8, Nodes: 4,
+					Params: params, Faults: k, FaultSeed: 5}
+				a, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s/%v k=%d: %v", app, d, k, err)
+				}
+				if !a.Completed {
+					t.Fatalf("%s/%v k=%d did not complete", app, d, k)
+				}
+				if a.FaultsInjected != k {
+					t.Fatalf("%s/%v k=%d: only %d faults fired", app, d, k, a.FaultsInjected)
+				}
+				// Recoveries can merge (a restart absorbs a failure that
+				// lands inside its detect window) but never exceed the
+				// failure count, and at least one must have happened.
+				if a.Recoveries < 1 || a.Recoveries > k {
+					t.Fatalf("%s/%v k=%d: %d recoveries", app, d, k, a.Recoveries)
+				}
+				b, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s/%v k=%d rerun: %v", app, d, k, err)
+				}
+				if a != b {
+					t.Fatalf("%s/%v k=%d not deterministic:\n%+v\n%+v", app, d, k, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The multi-failure answer must still be the failure-free answer.
+func TestMultiFailureRecoversExactAnswer(t *testing.T) {
+	params := tinyParams("miniFE")
+	params.CkptStride = 3
+	ref, err := Run(Config{App: "miniFE", Design: ReinitFTI, Procs: 8, Nodes: 4, Params: params})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for _, d := range Designs() {
+		bd, err := Run(Config{App: "miniFE", Design: d, Procs: 8, Nodes: 4,
+			Params: params, Faults: 3, FaultSeed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if bd.Signature != ref.Signature {
+			t.Fatalf("%v: recovered signature %v != failure-free %v", d, bd.Signature, ref.Signature)
+		}
+	}
+}
+
+// RunCampaign output must be independent of the worker count: the sweep
+// pool must not change result ordering or values.
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	opts := CampaignOptions{
+		Apps:      []string{"HPCCG"},
+		Procs:     8,
+		MaxFaults: 2,
+		Seed:      3,
+	}
+	// 8-rank override for speed: campaign cells resolve Table I params at
+	// Procs=8 via ResolveParams, which works for HPCCG.
+	var out1, out8 strings.Builder
+	opts.Workers = 1
+	r1, err := RunCampaign(opts, &out1)
+	if err != nil {
+		t.Fatalf("-j 1: %v", err)
+	}
+	opts.Workers = 8
+	r8, err := RunCampaign(opts, &out8)
+	if err != nil {
+		t.Fatalf("-j 8: %v", err)
+	}
+	if out1.String() != out8.String() {
+		t.Fatalf("campaign table differs between -j 1 and -j 8:\n%s\n---\n%s", out1.String(), out8.String())
+	}
+	var csv1, csv8 strings.Builder
+	WriteCSV(&csv1, r1)
+	WriteCSV(&csv8, r8)
+	if csv1.String() != csv8.String() {
+		t.Fatalf("campaign CSV differs between -j 1 and -j 8:\n%s\n---\n%s", csv1.String(), csv8.String())
+	}
+	if len(r1) != 3*len(Designs()) { // k = 0,1,2 x designs
+		t.Fatalf("campaign results = %d, want %d", len(r1), 3*len(Designs()))
+	}
+	cr := ComputeCrossover(r1)
+	if len(cr.Ks) != 3 || cr.Ks[0] != 0 || cr.Ks[2] != 2 {
+		t.Fatalf("crossover ks = %v", cr.Ks)
+	}
+	var sb strings.Builder
+	cr.Write(&sb)
+	if !strings.Contains(sb.String(), "crossover") {
+		t.Fatalf("crossover report malformed:\n%s", sb.String())
+	}
+}
+
+// TestCampaignAllAppsK3Small64 pins the campaign acceptance bar: a k=3
+// campaign completes on every app x design pair at the paper-scale
+// default configuration (64 procs, Small input), with every scheduled
+// failure fired.
+func TestCampaignAllAppsK3Small64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-proc campaign matrix skipped in -short mode")
+	}
+	var cfgs []Config
+	for _, app := range allApps {
+		for _, d := range Designs() {
+			cfgs = append(cfgs, Config{App: app, Design: d, Procs: 64,
+				Input: Small, Faults: 3, FaultSeed: 1})
+		}
+	}
+	results, err := RunConfigs(cfgs, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Breakdown.Completed {
+			t.Errorf("%s: did not complete", r.Key())
+		}
+		if r.Breakdown.FaultsInjected != 3 {
+			t.Errorf("%s: %d faults fired, want 3", r.Key(), r.Breakdown.FaultsInjected)
+		}
+		if r.Breakdown.Recoveries < 1 {
+			t.Errorf("%s: no recovery recorded", r.Key())
+		}
+	}
+}
+
+// An explicit schedule drives failures exactly where it says, including a
+// second hit on the already-degraded replica group (forcing the
+// checkpoint-only fallback) and an AfterRecoveries-gated event.
+func TestExplicitScheduleDegradedGroupFallback(t *testing.T) {
+	params := tinyParams("HPCCG")
+	params.CkptStride = 3
+	// Kill the shadow replica of rank 2 first (stable replica index 1),
+	// then — after that failover — the primary (index 0): the group is
+	// exhausted and the run must fall back to checkpoint-only relaunch.
+	sched := fault.Schedule{Events: []fault.Event{
+		{TargetRank: 2, TargetIter: 2, TargetReplica: 1},
+		{TargetRank: 2, TargetIter: 6, TargetReplica: 0, AfterRecoveries: 1},
+	}}
+	cfg := Config{App: "HPCCG", Design: ReplicaFTI, Procs: 8, Nodes: 4,
+		Params: params, Schedule: &sched}
+	ref, err := Run(Config{App: "HPCCG", Design: ReinitFTI, Procs: 8, Nodes: 4, Params: params})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2 (failover + fallback relaunch)", a.Recoveries)
+	}
+	if a.Signature != ref.Signature {
+		t.Fatalf("signature %v != failure-free %v", a.Signature, ref.Signature)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if a != b {
+		t.Fatalf("explicit schedule not deterministic:\n%+v\n%+v", a, b)
+	}
+}

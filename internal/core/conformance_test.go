@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"match/internal/apps"
+	"match/internal/fault"
 )
 
 // TestDesignConformanceMatrix is the contract future designs must keep:
@@ -72,6 +73,46 @@ func TestDesignConformanceDeterministic(t *testing.T) {
 		if a != b {
 			t.Fatalf("%s/%s not deterministic:\n%+v\n%+v", app, d, a, b)
 		}
+	}
+}
+
+// TestCampaignConformanceMatrix extends the conformance contract to
+// multi-failure campaigns: every design must survive a k=2 schedule whose
+// second event arms only after the first recovery — a failure landing in
+// the catch-up window — and produce a valid, deterministic breakdown.
+func TestCampaignConformanceMatrix(t *testing.T) {
+	sched := fault.Schedule{Events: []fault.Event{
+		{TargetRank: 3, TargetIter: 4},
+		{TargetRank: 5, TargetIter: 7, AfterRecoveries: 1},
+	}}
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := Config{
+				App: "HPCCG", Design: d, Procs: 8, Nodes: 4,
+				Input: Small, Schedule: &sched,
+			}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !a.Completed || a.Total <= 0 {
+				t.Fatalf("invalid breakdown: %+v", a)
+			}
+			if a.FaultsInjected != 2 {
+				t.Fatalf("faults fired = %d, want 2", a.FaultsInjected)
+			}
+			if a.Recoveries < 1 || a.Recovery <= 0 {
+				t.Fatalf("failures not recovered: recoveries=%d recovery=%v", a.Recoveries, a.Recovery)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("rerun: %v", err)
+			}
+			if a != b {
+				t.Fatalf("not deterministic:\n%+v\n%+v", a, b)
+			}
+		})
 	}
 }
 

@@ -118,6 +118,15 @@ type Config struct {
 	InjectFault bool
 	FaultSeed   int64
 	FaultKind   fault.Kind
+	// Faults is the campaign size: the number of failures injected per
+	// run, drawn deterministically from FaultSeed. Zero with InjectFault
+	// set means one (the paper's single-failure experiments); event 0 of a
+	// k-failure schedule is always the legacy single-failure draw, so k=1
+	// reproduces the calibrated results byte-for-byte.
+	Faults int
+	// Schedule, when non-nil, overrides the random draw entirely with an
+	// explicit failure schedule (see fault.ParseSchedule for the DSL).
+	Schedule *fault.Schedule
 
 	FTILevel   fti.Level // default L1, as the paper benchmarks
 	CkptStride int       // default 10, as the paper
@@ -134,6 +143,21 @@ type Config struct {
 	Params appkit.Params
 }
 
+// FaultCount is the number of failures this configuration injects: the
+// explicit schedule's length when one is set, else Faults, else one when
+// the legacy InjectFault switch is on.
+func (c Config) FaultCount() int {
+	switch {
+	case c.Schedule != nil:
+		return len(c.Schedule.Events)
+	case c.Faults > 0:
+		return c.Faults
+	case c.InjectFault:
+		return 1
+	}
+	return 0
+}
+
 // Breakdown is the measured result of one run: the stacked components of
 // the paper's Figures 5/6/8/9 plus bookkeeping.
 type Breakdown struct {
@@ -144,11 +168,16 @@ type Breakdown struct {
 
 	Signature  float64 // collective answer fingerprint (rank 0)
 	Recoveries int
-	Completed  bool
-	CkptCount  int
-	CkptBytes  int64
-	Messages   int64
-	NetBytes   int64
+	// FaultsInjected counts the schedule events that actually fired. An
+	// AfterRecoveries-gated event whose window never opens (e.g. under
+	// rollback-free failover, which never revisits an iteration) can leave
+	// this below the scheduled count.
+	FaultsInjected int
+	Completed      bool
+	CkptCount      int
+	CkptBytes      int64
+	Messages       int64
+	NetBytes       int64
 }
 
 // recorder accumulates per-rank results across job incarnations.
@@ -179,9 +208,9 @@ func (rec *recorder) addFTIStats(rank int, st fti.Stats) {
 	}
 }
 
-var execSeq int
-
 // Run executes one configuration to completion and returns its breakdown.
+// It is safe to call concurrently (the sweep harness runs configurations on
+// a worker pool): each run owns its cluster, storage, and injector.
 func Run(cfg Config) (Breakdown, error) {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 32
@@ -212,21 +241,29 @@ func Run(cfg Config) (Breakdown, error) {
 	cluster.Scheduler().SetDeadline(200000 * simnet.Second) // deadlock net
 	st := storage.New(cluster, storage.Config{BytesScale: scale})
 
-	var inj *fault.Injector
+	var sched fault.Schedule
+	k := cfg.FaultCount()
 	switch {
-	case cfg.InjectFault && cfg.Design == ReplicaFTI:
-		// Same (rank, iteration) draw as the other designs for the same
-		// seed, plus which replica of the target rank dies.
+	case cfg.Schedule != nil:
+		sched = *cfg.Schedule
+		if err := validateSchedule(sched, cfg, params.MaxIter); err != nil {
+			return Breakdown{}, err
+		}
+	case k > 0 && cfg.Design == ReplicaFTI:
+		// Same (rank, iteration) draws as the other designs for the same
+		// seed, plus which replica of each target rank dies.
 		lay := replica.NewLayout(cfg.Procs, cfg.Nodes, cfg.Replica)
-		inj = fault.NewInjector(fault.NewReplicatedPlan(cfg.FaultSeed, cfg.Procs, params.MaxIter, cfg.FaultKind, lay.DegreeOf))
-	case cfg.InjectFault:
-		inj = fault.NewInjector(fault.NewPlan(cfg.FaultSeed, cfg.Procs, params.MaxIter, cfg.FaultKind))
-	default:
-		inj = fault.NewInjector(fault.Plan{})
+		sched = fault.NewReplicatedSchedule(cfg.FaultSeed, k, cfg.Procs, params.MaxIter, cfg.FaultKind, lay.DegreeOf)
+	case k > 0:
+		sched = fault.NewSchedule(cfg.FaultSeed, k, cfg.Procs, params.MaxIter, cfg.FaultKind)
 	}
+	inj := fault.NewScheduleInjector(sched)
 
-	execSeq++
-	execID := fmt.Sprintf("%s-%s-%d-%d", cfg.App, cfg.Design, cfg.Procs, execSeq)
+	// The execution id only needs to be stable across the incarnations of
+	// this one run (each run owns its cluster and storage), so it is derived
+	// from the configuration rather than a process-wide counter — which
+	// keeps Run free of global state and safe to call concurrently.
+	execID := fmt.Sprintf("%s-%s-p%d-%s-k%d-s%d", cfg.App, cfg.Design, cfg.Procs, cfg.Input, k, cfg.FaultSeed)
 	rec := newRecorder()
 
 	// runApp is the shared resilient main: FTI + the Figure-1 loop.
@@ -258,13 +295,13 @@ func Run(cfg Config) (Breakdown, error) {
 	var bd Breakdown
 	switch cfg.Design {
 	case RestartFTI:
-		err = runRestart(cfg, cluster, rec, runApp, scale, &bd)
+		err = runRestart(cfg, cluster, rec, runApp, inj, scale, &bd)
 	case ReinitFTI:
-		err = runReinit(cfg, cluster, rec, runApp, scale, &bd)
+		err = runReinit(cfg, cluster, rec, runApp, inj, scale, &bd)
 	case UlfmFTI:
-		err = runUlfm(cfg, cluster, rec, runApp, scale, &bd)
+		err = runUlfm(cfg, cluster, rec, runApp, inj, scale, &bd)
 	case ReplicaFTI:
-		err = runReplica(cfg, cluster, rec, runApp, scale, &bd)
+		err = runReplica(cfg, cluster, rec, runApp, inj, scale, &bd)
 	default:
 		return Breakdown{}, fmt.Errorf("core: unknown design %v", cfg.Design)
 	}
@@ -279,6 +316,7 @@ func Run(cfg Config) (Breakdown, error) {
 	}
 	bd.Ckpt = rec.ckptTime[0]
 	bd.App = bd.Total - bd.Ckpt - bd.Recovery
+	bd.FaultsInjected = inj.FiredCount()
 	bd.Signature = rec.sigs[0]
 	bd.Completed = len(rec.sigs) == cfg.Procs
 	bd.CkptCount = rec.ckptCount
@@ -294,6 +332,32 @@ func Run(cfg Config) (Breakdown, error) {
 	return bd, nil
 }
 
+// validateSchedule rejects explicit schedule events that could never fire
+// — a silent no-op failure would report a failure-free run as a campaign.
+func validateSchedule(s fault.Schedule, cfg Config, maxIter int) error {
+	degreeOf := func(int) int { return 1 }
+	if cfg.Design == ReplicaFTI {
+		degreeOf = replica.NewLayout(cfg.Procs, cfg.Nodes, cfg.Replica).DegreeOf
+	}
+	for i, ev := range s.Events {
+		if ev.TargetRank < 0 || ev.TargetRank >= cfg.Procs {
+			return fmt.Errorf("core: schedule event %d (%s) targets rank %d, outside 0..%d",
+				i, ev, ev.TargetRank, cfg.Procs-1)
+		}
+		if ev.TargetIter < 0 || ev.TargetIter >= maxIter {
+			return fmt.Errorf("core: schedule event %d (%s) targets iteration %d, outside 0..%d (%s main loop)",
+				i, ev, ev.TargetIter, maxIter-1, cfg.App)
+		}
+		// Unreplicated designs ignore the replica selector (the injector
+		// matches any), so only the replica design constrains it.
+		if cfg.Design == ReplicaFTI && ev.TargetReplica >= degreeOf(ev.TargetRank) {
+			return fmt.Errorf("core: schedule event %d (%s) targets replica %d of rank %d, which has degree %d",
+				i, ev, ev.TargetReplica, ev.TargetRank, degreeOf(ev.TargetRank))
+		}
+	}
+	return nil
+}
+
 func firstErr(errs []error) error {
 	if len(errs) == 0 {
 		return nil
@@ -302,7 +366,7 @@ func firstErr(errs []error) error {
 }
 
 func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
 	rcfg := cfg.Restart
 	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
 	sup := restart.Supervise(cluster, rcfg, cfg.Procs, 0, func(r *mpi.Rank) {
@@ -311,6 +375,9 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 			rec.errs = append(rec.errs, err)
 		}
 	})
+	// AfterRecoveries-gated events arm once the launcher has restarted the
+	// job that many times.
+	inj.Recoveries = func() int { return len(sup.Recoveries) }
 	cluster.Run()
 	for _, rcv := range sup.Recoveries {
 		bd.Recovery += rcv.Duration()
@@ -324,7 +391,7 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
 	var rt *reinit.Runtime
 	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
 		if err := rt.Run(r); err != nil {
@@ -335,6 +402,7 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	rt = reinit.NewRuntime(job, cfg.Reinit, func(r *mpi.Rank, state reinit.State) error {
 		return runApp(r, rt.World(), rec.addFTIStats)
 	})
+	inj.Recoveries = func() int { return len(rt.Recoveries) }
 	cluster.Run()
 	rt.Stop()
 	rec.errs = append(rec.errs, rt.Errs...)
@@ -348,7 +416,7 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
 	var rt *ulfm.Runtime
 	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
 		if err := rt.RunResilient(r); err != nil {
@@ -359,6 +427,7 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	rt = ulfm.NewRuntime(job, cfg.Ulfm, func(r *mpi.Rank, world *mpi.Comm, restarted bool) error {
 		return runApp(r, world, rec.addFTIStats)
 	})
+	inj.Recoveries = func() int { return len(rt.Recoveries) }
 	cluster.Run()
 	rt.Stop()
 	rec.errs = append(rec.errs, rt.Errs...)
@@ -372,7 +441,7 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
 	rcfg := cfg.Replica
 	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
 	// All replicas of a rank run the identical checkpoints, so their FTI
@@ -397,6 +466,7 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 			rec.errs = append(rec.errs, err)
 		}
 	})
+	inj.Recoveries = func() int { return len(sup.Recoveries) }
 	cluster.Run()
 	for _, j := range sup.Jobs {
 		for rank := 0; rank < cfg.Procs; rank++ {

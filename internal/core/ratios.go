@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Ratios are the paper's §V-C headline comparisons, derived from
@@ -35,6 +36,7 @@ func ComputeRatios(results []Result) Ratios {
 		procs      int
 	}
 	rec := map[cell]map[Design]Breakdown{}
+	var order []cell // first-seen order: deterministic float summation
 	var ratios Ratios
 	var ckptShareSum float64
 	var ckptN int
@@ -42,6 +44,7 @@ func ComputeRatios(results []Result) Ratios {
 		c := cell{r.Config.App, r.Config.Input.String(), r.Config.Procs}
 		if rec[c] == nil {
 			rec[c] = map[Design]Breakdown{}
+			order = append(order, c)
 		}
 		rec[c][r.Config.Design] = r.Breakdown
 		if r.Breakdown.Total > 0 && r.Breakdown.Ckpt > 0 {
@@ -50,7 +53,8 @@ func ComputeRatios(results []Result) Ratios {
 		}
 	}
 	var ur, rr, ru, rpr, rps []float64
-	for _, m := range rec {
+	for _, c := range order {
+		m := rec[c]
 		re, haveRe := m[ReinitFTI]
 		ul, haveUl := m[UlfmFTI]
 		rs, haveRs := m[RestartFTI]
@@ -81,6 +85,96 @@ func ComputeRatios(results []Result) Ratios {
 	}
 	ratios.Samples = len(ur)
 	return ratios
+}
+
+// Crossover is the campaign-level headline: how the Replica/Reinit
+// end-to-end comparison moves as failures accumulate. For each failure
+// count k it averages, over the (app, procs, input) cells that ran both
+// designs, the ratio of Replica's total time to Reinit's; CrossoverK is
+// the smallest k where replication wins end-to-end (ratio < 1) — the point
+// where paying replication's steady-state duplication is cheaper than
+// paying Reinit's k rollbacks — or -1 if it never does.
+type Crossover struct {
+	Ks                        []int
+	ReplicaOverReinitTotal    []float64 // per k, avg Replica total / Reinit total
+	ReinitOverReplicaRecovery []float64 // per k, avg Reinit recovery / Replica recovery
+	CrossoverK                int
+	Samples                   int
+}
+
+// ComputeCrossover derives the crossover analysis from campaign results.
+func ComputeCrossover(results []Result) Crossover {
+	type cell struct {
+		app, input string
+		procs, k   int
+	}
+	rec := map[cell]map[Design]Breakdown{}
+	var order []cell // first-seen order: deterministic float summation
+	for _, r := range results {
+		c := cell{r.Config.App, r.Config.Input.String(), r.Config.Procs, r.Config.FaultCount()}
+		if rec[c] == nil {
+			rec[c] = map[Design]Breakdown{}
+			order = append(order, c)
+		}
+		rec[c][r.Config.Design] = r.Breakdown
+	}
+	totals := map[int][]float64{}
+	recovs := map[int][]float64{}
+	samples := 0
+	for _, c := range order {
+		m := rec[c]
+		re, haveRe := m[ReinitFTI]
+		rp, haveRp := m[ReplicaFTI]
+		if !haveRe || !haveRp {
+			continue
+		}
+		samples++
+		if re.Total > 0 {
+			totals[c.k] = append(totals[c.k], rp.Total.Seconds()/re.Total.Seconds())
+		}
+		if rp.Recovery > 0 {
+			recovs[c.k] = append(recovs[c.k], re.Recovery.Seconds()/rp.Recovery.Seconds())
+		}
+	}
+	var ks []int
+	for k := range totals {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	cr := Crossover{CrossoverK: -1, Samples: samples}
+	for _, k := range ks {
+		tAvg, _ := avgMax(totals[k])
+		rAvg, _ := avgMax(recovs[k])
+		cr.Ks = append(cr.Ks, k)
+		cr.ReplicaOverReinitTotal = append(cr.ReplicaOverReinitTotal, tAvg)
+		cr.ReinitOverReplicaRecovery = append(cr.ReinitOverReplicaRecovery, rAvg)
+		if cr.CrossoverK < 0 && tAvg > 0 && tAvg < 1 {
+			cr.CrossoverK = k
+		}
+	}
+	return cr
+}
+
+// Write renders the crossover table.
+func (c Crossover) Write(w io.Writer) {
+	fmt.Fprintln(w, "== Replica vs Reinit crossover (campaign) ==")
+	fmt.Fprintf(w, "%-8s %28s %28s\n", "faults", "Replica/Reinit total (avg)", "Reinit/Replica recovery (avg)")
+	for i, k := range c.Ks {
+		recov := fmt.Sprintf("%28s", "-") // no recoveries at this k (k=0 row)
+		if c.ReinitOverReplicaRecovery[i] > 0 {
+			recov = fmt.Sprintf("%27.1fx", c.ReinitOverReplicaRecovery[i])
+		}
+		fmt.Fprintf(w, "%-8d %27.3fx %s\n", k, c.ReplicaOverReinitTotal[i], recov)
+	}
+	switch {
+	case c.CrossoverK < 0:
+		fmt.Fprintln(w, "no crossover: checkpointing+Reinit stays ahead end-to-end on this matrix")
+	case c.CrossoverK == 0:
+		fmt.Fprintln(w, "replication is ahead end-to-end even without failures on this matrix")
+	default:
+		fmt.Fprintf(w, "crossover at k=%d: from %d failures on, replication wins end-to-end\n", c.CrossoverK, c.CrossoverK)
+	}
+	fmt.Fprintf(w, "(over %d design-comparable cells)\n\n", c.Samples)
 }
 
 func avgMax(v []float64) (avg, max float64) {

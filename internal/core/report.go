@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"match/internal/simnet"
 )
@@ -22,12 +25,15 @@ func (r Result) Key() string {
 
 // RunAveraged executes cfg reps times (distinct fault seeds when injection
 // is on, mirroring the paper's five repetitions) and returns the mean
-// breakdown plus the individual results.
+// breakdown plus the individual results. Every component — the times and
+// the counts alike — is divided by reps, so the averaged breakdown
+// describes one run (counts round half-up to the nearest integer).
 func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	if reps <= 0 {
 		reps = 1
 	}
 	var acc Breakdown
+	acc.Completed = true // AND over reps (Run errors on incompletion today)
 	var results []Result
 	for i := 0; i < reps; i++ {
 		c := cfg
@@ -37,11 +43,13 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 			return Breakdown{}, results, fmt.Errorf("%s rep %d: %w", Result{Config: c}.Key(), i, err)
 		}
 		results = append(results, Result{Config: c, Breakdown: bd})
+		acc.Completed = acc.Completed && bd.Completed
 		acc.Total += bd.Total
 		acc.App += bd.App
 		acc.Ckpt += bd.Ckpt
 		acc.Recovery += bd.Recovery
 		acc.Recoveries += bd.Recoveries
+		acc.FaultsInjected += bd.FaultsInjected
 		acc.CkptCount += bd.CkptCount
 		acc.CkptBytes += bd.CkptBytes
 		acc.Messages += bd.Messages
@@ -52,9 +60,20 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	acc.App /= n
 	acc.Ckpt /= n
 	acc.Recovery /= n
+	acc.Recoveries = int(divRound(int64(acc.Recoveries), reps))
+	acc.FaultsInjected = int(divRound(int64(acc.FaultsInjected), reps))
+	acc.CkptCount = int(divRound(int64(acc.CkptCount), reps))
+	acc.CkptBytes = divRound(acc.CkptBytes, reps)
+	acc.Messages = divRound(acc.Messages, reps)
+	acc.NetBytes = divRound(acc.NetBytes, reps)
 	acc.Signature = results[0].Breakdown.Signature
-	acc.Completed = true
 	return acc, results, nil
+}
+
+// divRound divides a summed count by the repetition count, rounding half
+// up, so averaged breakdowns keep integer-typed fields.
+func divRound(sum int64, reps int) int64 {
+	return (sum + int64(reps)/2) / int64(reps)
 }
 
 // SuiteOptions shapes a figure sweep.
@@ -64,11 +83,14 @@ type SuiteOptions struct {
 	Inputs []InputSize
 	Reps   int // default 1 (the paper used 5)
 	Seed   int64
+	// Workers bounds the worker pool the sweep runs on; 0 means
+	// GOMAXPROCS. Result ordering is independent of the worker count.
+	Workers int
 }
 
 func (o *SuiteOptions) fill() {
 	if len(o.Apps) == 0 {
-		o.Apps = []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}
+		o.Apps = TableIApps()
 	}
 	if len(o.Inputs) == 0 {
 		o.Inputs = InputSizes()
@@ -155,21 +177,80 @@ func filterCubes(s []int) []int {
 	return out
 }
 
-// RunFigure executes a figure's run matrix and writes the paper-style
-// table to w. It returns the raw results for further analysis.
+// RunConfigs executes configurations on a bounded worker pool (workers <= 0
+// means GOMAXPROCS) with reps repetitions each. The result slice is ordered
+// like cfgs regardless of the worker count or completion order, so sweep
+// output is deterministic. An error stops new runs from starting (in-flight
+// ones finish); the successful prefix — every configuration before the
+// lowest-indexed failing one — is returned with that error.
+func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	done := make([]bool, len(cfgs)) // distinguishes success from fail-fast skip
+	next := make(chan int)
+	var failed atomic.Bool // fail fast: don't start new runs after an error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue
+				}
+				bd, _, err := RunAveraged(cfgs[i], reps)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = Result{Config: cfgs[i], Breakdown: bd}
+				done[i] = true
+			}
+		}()
+	}
+	for i := range cfgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if !failed.Load() {
+		return results, nil
+	}
+	// The returned prefix holds only configurations that actually ran: it
+	// ends at the first error, skip, or still-zero slot.
+	n := 0
+	for n < len(cfgs) && done[n] {
+		n++
+	}
+	var err error
+	for _, e := range errs[n:] { // failed => at least one non-nil entry
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	return results[:n], err
+}
+
+// RunFigure executes a figure's run matrix on the sweep worker pool and
+// writes the paper-style table to w. It returns the raw results for
+// further analysis.
 func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
 	cfgs, err := FigureConfigs(fig, opts)
 	if err != nil {
 		return nil, err
 	}
 	opts.fill()
-	var results []Result
-	for _, cfg := range cfgs {
-		bd, _, err := RunAveraged(cfg, opts.Reps)
-		if err != nil {
-			return results, err
-		}
-		results = append(results, Result{Config: cfg, Breakdown: bd})
+	results, err := RunConfigs(cfgs, opts.Reps, opts.Workers)
+	if err != nil {
+		return results, err
 	}
 	WriteFigure(w, fig, results)
 	return results, nil
@@ -225,14 +306,16 @@ func WriteFigure(w io.Writer, fig int, results []Result) {
 	fmt.Fprintln(w)
 }
 
-// WriteCSV emits results as CSV for external plotting.
+// WriteCSV emits results as CSV for external plotting. The faults column
+// is the scheduled failure count of the configuration (campaign sweeps
+// vary it; the paper's figures have it at 0 or 1).
 func WriteCSV(w io.Writer, results []Result) {
-	fmt.Fprintln(w, "app,design,procs,input,fault,app_s,ckpt_s,recovery_s,total_s,recoveries,messages,net_bytes")
+	fmt.Fprintln(w, "app,design,procs,input,faults,app_s,ckpt_s,recovery_s,total_s,recoveries,messages,net_bytes")
 	for _, r := range results {
 		bd := r.Breakdown
-		fmt.Fprintf(w, "%s,%s,%d,%s,%t,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
 			r.Config.App, r.Config.Design, r.Config.Procs, r.Config.Input,
-			r.Config.InjectFault, bd.App.Seconds(), bd.Ckpt.Seconds(),
+			r.Config.FaultCount(), bd.App.Seconds(), bd.Ckpt.Seconds(),
 			bd.Recovery.Seconds(), bd.Total.Seconds(), bd.Recoveries,
 			bd.Messages, bd.NetBytes)
 	}

@@ -105,10 +105,16 @@ func ResolveParams(cfg Config) (appkit.Params, float64, error) {
 	return p, r.bscale, nil
 }
 
+// TableIApps lists the paper's six proxy applications in Table I order —
+// the default app set of every sweep (figures, campaigns, verification).
+func TableIApps() []string {
+	return []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"}
+}
+
 // TableI returns every (app, input) entry for printing and testing.
 func TableI() []TableIEntry {
 	var out []TableIEntry
-	for _, app := range []string{"AMG", "CoMD", "HPCCG", "LULESH", "miniFE", "miniVite"} {
+	for _, app := range TableIApps() {
 		rows := tableI[app]
 		for i, r := range rows {
 			out = append(out, TableIEntry{

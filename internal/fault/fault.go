@@ -1,14 +1,20 @@
-// Package fault emulates MPI process and node failures by fault injection,
-// following the paper's Figure 4: a SIGTERM-style kill of one randomly
-// selected rank at one randomly selected iteration of the main computation
-// loop. The selection is seeded so every fault-tolerance design sees the
-// identical failure, which is what makes the designs comparable.
+// Package fault emulates MPI process and node failures by fault injection.
+// The paper's Figure 4 injects exactly one failure per run: a SIGTERM-style
+// kill of one randomly selected rank at one randomly selected iteration of
+// the main computation loop. This package generalizes that single-shot Plan
+// into a campaign-style Schedule — an ordered list of failure events drawn
+// deterministically from one seed — so the suite can also measure where a
+// design's advantage widens as failures accumulate or land during recovery.
+// The selection is seeded so every fault-tolerance design sees the
+// identical failure sequence, which is what makes the designs comparable.
 package fault
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"match/internal/mpi"
 )
@@ -30,7 +36,9 @@ func (k Kind) String() string {
 	return "process"
 }
 
-// Plan describes one injected failure.
+// Plan describes one injected failure (the paper's single-shot model). It
+// survives as the unit a Schedule is built from and as the legacy
+// constructor argument of NewInjector.
 type Plan struct {
 	Enabled    bool
 	Kind       Kind
@@ -40,6 +48,71 @@ type Plan struct {
 	// is backed by a replica group (ReplicaFTI). Zero — the primary — for
 	// the unreplicated designs, so their plans are unchanged.
 	TargetReplica int
+}
+
+// Event is one failure of a campaign Schedule: kill TargetReplica of
+// TargetRank when that process reaches main-loop iteration TargetIter,
+// but only once the run has already performed at least AfterRecoveries
+// recoveries. AfterRecoveries > 0 expresses failures that land while the
+// system is still absorbing an earlier one — e.g. a second hit on a
+// replica group that has not regained its redundancy, or a failure during
+// the post-restart catch-up replay. TargetReplica selects the victim
+// within a replica group (ReplicaFTI) and is ignored by designs without
+// replication.
+type Event struct {
+	Kind            Kind
+	TargetRank      int
+	TargetIter      int
+	TargetReplica   int
+	AfterRecoveries int
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%d@%d", e.TargetRank, e.TargetIter)
+	if e.TargetReplica != 0 {
+		s += fmt.Sprintf(":replica=%d", e.TargetReplica)
+	}
+	if e.AfterRecoveries != 0 {
+		s += fmt.Sprintf(":after=%d", e.AfterRecoveries)
+	}
+	if e.Kind == NodeFailure {
+		s += ":kind=node"
+	}
+	return s
+}
+
+// Schedule is an ordered list of failure events, all drawn from one seed.
+// An empty schedule injects nothing. Events are independent: each fires at
+// most once, whenever its own (rank, iteration, recovery-count) condition
+// is met, in whatever job incarnation that happens — so an event naturally
+// re-arms across restarts until it has fired.
+type Schedule struct {
+	Events []Event
+}
+
+// Enabled reports whether the schedule injects at least one failure.
+func (s Schedule) Enabled() bool { return len(s.Events) > 0 }
+
+// String renders the schedule in the DSL accepted by ParseSchedule.
+func (s Schedule) String() string {
+	parts := make([]string, 0, len(s.Events))
+	for _, e := range s.Events {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// ScheduleOf converts a legacy single-failure Plan into a Schedule.
+func ScheduleOf(p Plan) Schedule {
+	if !p.Enabled {
+		return Schedule{}
+	}
+	return Schedule{Events: []Event{{
+		Kind:          p.Kind,
+		TargetRank:    p.TargetRank,
+		TargetIter:    p.TargetIter,
+		TargetReplica: p.TargetReplica,
+	}}}
 }
 
 // NewPlan draws a random (rank, iteration) target, like the paper's
@@ -84,43 +157,240 @@ func newPlan(rng *rand.Rand, nranks, maxIter int, kind Kind) Plan {
 	}
 }
 
-// Injector fires a Plan at most once per run, shared by all ranks of a job
-// (and across restarts of the job, so the failure happens exactly once).
-type Injector struct {
-	Plan  Plan
-	Log   io.Writer // optional: receives the paper's "KILL rank %d" line
-	fired bool
+// Seed salts deriving the independent streams behind events 1..k-1. The
+// tail (rank, iteration) stream must not depend on whether event 0 drew a
+// replica index, or the four designs would stop seeing the same logical
+// failure sequence; replica indexes come from a third stream for the same
+// reason.
+const (
+	tailSeedSalt    = 0x5bd1e995
+	replicaSeedSalt = 0x2545f491
+)
+
+// NewSchedule draws a deterministic k-failure campaign. Event 0 is drawn
+// exactly as NewPlan draws its plan for the same seed, so every calibrated
+// single-failure result is reproduced byte-for-byte by a k=1 schedule.
+// Later events come from a seed-derived stream and are drawn onto distinct
+// iterations and distinct ranks (redrawing on collision while the ranges
+// allow it), so each event kills a process that is actually alive at its
+// iteration and fires in every design — including the rollback-free ones,
+// which never revisit an iteration and never resurrect a dead replica.
+func NewSchedule(seed int64, k, nranks, maxIter int, kind Kind) Schedule {
+	return NewReplicatedSchedule(seed, k, nranks, maxIter, kind, nil)
 }
 
-// NewInjector wraps a plan.
-func NewInjector(p Plan) *Injector { return &Injector{Plan: p} }
+// NewReplicatedSchedule draws the identical (rank, iteration) sequence as
+// NewSchedule for the same seed, then additionally draws which replica of
+// each replicated target dies (event 0 exactly as NewReplicatedPlan, so
+// calibrated ReplicaFTI results are preserved too). degreeOf may be nil for
+// unreplicated designs.
+func NewReplicatedSchedule(seed int64, k, nranks, maxIter int, kind Kind, degreeOf func(rank int) int) Schedule {
+	if k <= 0 {
+		return Schedule{}
+	}
+	var s Schedule
+	rng := rand.New(rand.NewSource(seed))
+	first := newPlan(rng, nranks, maxIter, kind)
+	ev0 := Event{Kind: first.Kind, TargetRank: first.TargetRank, TargetIter: first.TargetIter}
+	if degreeOf != nil {
+		if d := degreeOf(ev0.TargetRank); d > 1 {
+			ev0.TargetReplica = rng.Intn(d)
+		}
+	}
+	s.Events = append(s.Events, ev0)
+	if k == 1 {
+		return s
+	}
+	tail := rand.New(rand.NewSource(seed ^ tailSeedSalt))
+	repl := rand.New(rand.NewSource(seed ^ replicaSeedSalt))
+	usedIter := map[int]bool{ev0.TargetIter: true}
+	usedRank := map[int]bool{ev0.TargetRank: true}
+	// Distinctness is best-effort: once k outgrows a range, reuse is
+	// unavoidable and the linear probes below keep the draw terminating
+	// and deterministic.
+	for i := 1; i < k; i++ {
+		p := newPlan(tail, nranks, maxIter, kind)
+		for tries := 0; (usedIter[p.TargetIter] || usedRank[p.TargetRank]) && tries < 4*(maxIter+nranks); tries++ {
+			p = newPlan(tail, nranks, maxIter, kind)
+		}
+		for probes := 0; usedIter[p.TargetIter] && probes < maxIter; probes++ {
+			p.TargetIter = (p.TargetIter + 1) % maxIter
+		}
+		for probes := 0; usedRank[p.TargetRank] && probes < nranks; probes++ {
+			p.TargetRank = (p.TargetRank + 1) % nranks
+		}
+		usedIter[p.TargetIter] = true
+		usedRank[p.TargetRank] = true
+		ev := Event{Kind: p.Kind, TargetRank: p.TargetRank, TargetIter: p.TargetIter}
+		if degreeOf != nil {
+			if d := degreeOf(ev.TargetRank); d > 1 {
+				ev.TargetReplica = repl.Intn(d)
+			}
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}
 
-// Fired reports whether the failure has been injected.
-func (in *Injector) Fired() bool { return in != nil && in.fired }
+// ParseSchedule parses the campaign DSL used by cmd/match -fault-schedule:
+//
+//	schedule := event ("," event)*
+//	event    := RANK "@" ITER option*
+//	option   := ":after=" N | ":replica=" N | ":kind=" ("process"|"node")
+//
+// e.g. "3@40,3@55:after=1" kills rank 3 at iteration 40 and again at
+// iteration 55 once the first recovery has happened.
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		ev, err := parseEvent(strings.TrimSpace(part))
+		if err != nil {
+			return Schedule{}, fmt.Errorf("fault: schedule event %q: %w", part, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s, nil
+}
+
+func parseEvent(spec string) (Event, error) {
+	fields := strings.Split(spec, ":")
+	rankIter := strings.Split(fields[0], "@")
+	if len(rankIter) != 2 {
+		return Event{}, fmt.Errorf(`want "rank@iter", got %q`, fields[0])
+	}
+	rank, err := parseNonNegative(rankIter[0], "rank")
+	if err != nil {
+		return Event{}, err
+	}
+	iter, err := parseNonNegative(rankIter[1], "iter")
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{TargetRank: rank, TargetIter: iter}
+	for _, opt := range fields[1:] {
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 {
+			return Event{}, fmt.Errorf(`want "key=value" option, got %q`, opt)
+		}
+		switch kv[0] {
+		case "after":
+			if ev.AfterRecoveries, err = parseNonNegative(kv[1], "after"); err != nil {
+				return Event{}, err
+			}
+		case "replica":
+			if ev.TargetReplica, err = parseNonNegative(kv[1], "replica"); err != nil {
+				return Event{}, err
+			}
+		case "kind":
+			switch kv[1] {
+			case "process":
+				ev.Kind = ProcessFailure
+			case "node":
+				ev.Kind = NodeFailure
+			default:
+				return Event{}, fmt.Errorf("unknown kind %q (valid: process, node)", kv[1])
+			}
+		default:
+			return Event{}, fmt.Errorf("unknown option %q (valid: after, replica, kind)", kv[0])
+		}
+	}
+	return ev, nil
+}
+
+func parseNonNegative(s, what string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("%s %d negative", what, v)
+	}
+	return v, nil
+}
+
+// Injector fires the events of a Schedule, shared by all ranks of a job
+// (and across restarts of the job, so each event happens exactly once no
+// matter how many incarnations replay its iteration).
+type Injector struct {
+	Schedule Schedule
+	Log      io.Writer // optional: receives the paper's "KILL rank %d" line
+	// Recoveries, when set, reports how many recoveries the run has
+	// completed so far; events with AfterRecoveries > 0 stay dormant until
+	// it reaches their threshold. The harness points this at the active
+	// design's recovery log. When nil, such events never fire.
+	Recoveries func() int
+
+	fired  []bool
+	nfired int
+}
+
+// NewInjector wraps a legacy single-failure plan.
+func NewInjector(p Plan) *Injector { return NewScheduleInjector(ScheduleOf(p)) }
+
+// NewScheduleInjector wraps a campaign schedule.
+func NewScheduleInjector(s Schedule) *Injector {
+	return &Injector{Schedule: s, fired: make([]bool, len(s.Events))}
+}
+
+// Fired reports whether at least one failure has been injected.
+func (in *Injector) Fired() bool { return in != nil && in.nfired > 0 }
+
+// FiredCount reports how many of the schedule's events have been injected.
+func (in *Injector) FiredCount() int {
+	if in == nil {
+		return 0
+	}
+	return in.nfired
+}
 
 // MaybeFail is called by every rank at the top of every main-loop
 // iteration (the paper's Figure 4 check). When the calling rank and
-// iteration match the plan, the rank fail-stops. For NodeFailure the whole
-// node goes down with it.
+// iteration match an armed, unfired event — and the event's
+// AfterRecoveries threshold has been reached — the rank fail-stops. For
+// NodeFailure the whole node goes down with it.
 func (in *Injector) MaybeFail(r *mpi.Rank, comm *mpi.Comm, iter int) {
-	if in == nil || !in.Plan.Enabled || in.fired {
+	if in == nil || in.nfired == len(in.Schedule.Events) {
 		return
 	}
-	if iter != in.Plan.TargetIter || r.Rank(comm) != in.Plan.TargetRank {
-		return
+	if in.fired == nil { // zero-value Injector, not built by a constructor
+		in.fired = make([]bool, len(in.Schedule.Events))
 	}
-	if comm.ReplicaIndexOf(r.Process().GID()) != in.Plan.TargetReplica {
-		return // a twin replica of the target rank, not the chosen victim
+	for i, ev := range in.Schedule.Events {
+		if in.fired[i] || iter != ev.TargetIter {
+			continue
+		}
+		if ev.AfterRecoveries > 0 && (in.Recoveries == nil || in.Recoveries() < ev.AfterRecoveries) {
+			continue
+		}
+		if r.Rank(comm) != ev.TargetRank {
+			continue
+		}
+		// The replica selector only means something under replication; an
+		// unreplicated design matches any TargetReplica, so one schedule
+		// expresses the same logical failure sequence for every design.
+		if comm.Replicated() && comm.ReplicaIndexOf(r.Process().GID()) != ev.TargetReplica {
+			continue // a twin replica of the target rank, not the chosen victim
+		}
+		in.fire(i, ev, r, comm)
+		return // Die() unwinds; nothing after this executes anyway
 	}
-	in.fired = true
+}
+
+func (in *Injector) fire(i int, ev Event, r *mpi.Rank, comm *mpi.Comm) {
+	in.fired[i] = true
+	in.nfired++
 	if in.Log != nil {
 		if comm.Replicated() {
-			fmt.Fprintf(in.Log, "KILL rank %d replica %d\n", r.Rank(comm), in.Plan.TargetReplica)
+			fmt.Fprintf(in.Log, "KILL rank %d replica %d\n", r.Rank(comm), ev.TargetReplica)
 		} else {
 			fmt.Fprintf(in.Log, "KILL rank %d\n", r.Rank(comm))
 		}
 	}
-	if in.Plan.Kind == NodeFailure {
+	if ev.Kind == NodeFailure {
 		node := r.Process().NodeID()
 		cl := r.Job().Cluster()
 		// The node takes down its other residents via a scheduler event;

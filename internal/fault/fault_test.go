@@ -52,6 +52,182 @@ func TestNewReplicatedPlanMatchesNewPlan(t *testing.T) {
 	}
 }
 
+// A k=1 schedule must be the legacy single-failure draw, for both the
+// plain and the replicated variants: this is what keeps every calibrated
+// single-failure result byte-identical under the campaign refactor.
+func TestScheduleK1EqualsLegacyPlan(t *testing.T) {
+	degree2 := func(int) int { return 2 }
+	for seed := int64(0); seed < 40; seed++ {
+		p := NewPlan(seed, 64, 100, ProcessFailure)
+		s := NewSchedule(seed, 1, 64, 100, ProcessFailure)
+		if len(s.Events) != 1 {
+			t.Fatalf("seed %d: k=1 schedule has %d events", seed, len(s.Events))
+		}
+		ev := s.Events[0]
+		if ev.TargetRank != p.TargetRank || ev.TargetIter != p.TargetIter ||
+			ev.Kind != p.Kind || ev.TargetReplica != 0 || ev.AfterRecoveries != 0 {
+			t.Fatalf("seed %d: schedule event %+v != plan %+v", seed, ev, p)
+		}
+		rp := NewReplicatedPlan(seed, 64, 100, ProcessFailure, degree2)
+		rs := NewReplicatedSchedule(seed, 1, 64, 100, ProcessFailure, degree2)
+		rev := rs.Events[0]
+		if rev.TargetRank != rp.TargetRank || rev.TargetIter != rp.TargetIter ||
+			rev.TargetReplica != rp.TargetReplica {
+			t.Fatalf("seed %d: replicated schedule event %+v != plan %+v", seed, rev, rp)
+		}
+	}
+}
+
+// All four designs must see the identical logical failure sequence: the
+// (rank, iteration) draws of a schedule must not depend on whether replica
+// indexes were drawn alongside them, and the same seed must always yield
+// the same schedule.
+func TestScheduleIdenticalAcrossDesigns(t *testing.T) {
+	degree2 := func(int) int { return 2 }
+	for seed := int64(0); seed < 25; seed++ {
+		for _, k := range []int{1, 2, 3, 5} {
+			plain := NewSchedule(seed, k, 64, 100, ProcessFailure)
+			again := NewSchedule(seed, k, 64, 100, ProcessFailure)
+			repl := NewReplicatedSchedule(seed, k, 64, 100, ProcessFailure, degree2)
+			if len(plain.Events) != k || len(repl.Events) != k {
+				t.Fatalf("seed %d k %d: %d plain / %d replicated events",
+					seed, k, len(plain.Events), len(repl.Events))
+			}
+			for i := range plain.Events {
+				if plain.Events[i] != again.Events[i] {
+					t.Fatalf("seed %d k %d: schedule not deterministic", seed, k)
+				}
+				if plain.Events[i].TargetRank != repl.Events[i].TargetRank ||
+					plain.Events[i].TargetIter != repl.Events[i].TargetIter {
+					t.Fatalf("seed %d k %d event %d: plain targets (%d,%d), replicated (%d,%d)",
+						seed, k, i,
+						plain.Events[i].TargetRank, plain.Events[i].TargetIter,
+						repl.Events[i].TargetRank, repl.Events[i].TargetIter)
+				}
+				if r := repl.Events[i].TargetReplica; r < 0 || r >= 2 {
+					t.Fatalf("seed %d k %d event %d: replica %d out of range", seed, k, i, r)
+				}
+			}
+		}
+	}
+}
+
+// Events land on distinct iterations so every event can fire even in the
+// rollback-free replica design, which never revisits an iteration.
+func TestScheduleDistinctIterations(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		s := NewSchedule(seed, 5, 64, 40, ProcessFailure)
+		seen := map[int]bool{}
+		for _, ev := range s.Events {
+			if seen[ev.TargetIter] {
+				t.Fatalf("seed %d: duplicate iteration %d in %v", seed, ev.TargetIter, s.Events)
+			}
+			seen[ev.TargetIter] = true
+			if ev.TargetIter < 0 || ev.TargetIter >= 40 {
+				t.Fatalf("seed %d: iteration %d out of range", seed, ev.TargetIter)
+			}
+		}
+	}
+	// Tiny loops: k equal to the whole iteration range still terminates and
+	// covers distinct iterations.
+	s := NewSchedule(3, 4, 8, 4, ProcessFailure)
+	seen := map[int]bool{}
+	for _, ev := range s.Events {
+		if seen[ev.TargetIter] {
+			t.Fatalf("duplicate iteration in exhaustive schedule %v", s.Events)
+		}
+		seen[ev.TargetIter] = true
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule("3@40, 3@55:after=1:replica=1, 0@10:kind=node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{TargetRank: 3, TargetIter: 40},
+		{TargetRank: 3, TargetIter: 55, AfterRecoveries: 1, TargetReplica: 1},
+		{TargetRank: 0, TargetIter: 10, Kind: NodeFailure},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(s.Events), len(want))
+	}
+	for i := range want {
+		if s.Events[i] != want[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, s.Events[i], want[i])
+		}
+	}
+	// The DSL round-trips through String.
+	rt, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	for i := range want {
+		if rt.Events[i] != want[i] {
+			t.Fatalf("round-trip event %d: %+v, want %+v", i, rt.Events[i], want[i])
+		}
+	}
+	if s, err := ParseSchedule(""); err != nil || s.Enabled() {
+		t.Fatalf("empty spec: %v %v", s, err)
+	}
+	for _, bad := range []string{"x@1", "1@", "1@2:extra", "1@2:after=-1", "1@2:kind=meteor", "-1@2"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// A multi-event schedule fires each event exactly once, and events gated
+// by AfterRecoveries stay dormant until the recovery count reaches their
+// threshold.
+func TestInjectorMultiFire(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	recoveries := 0
+	in := NewScheduleInjector(Schedule{Events: []Event{
+		{TargetRank: 1, TargetIter: 2},
+		{TargetRank: 3, TargetIter: 4},
+		{TargetRank: 0, TargetIter: 1, AfterRecoveries: 1},
+	}})
+	in.Recoveries = func() int { return recoveries }
+	deaths := make([]int, 4) // last iter each rank completed
+	j := mpi.Launch(c, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		for it := 0; it < 6; it++ {
+			in.MaybeFail(r, w, it)
+			deaths[r.Rank(w)] = it
+			r.Sim().Sleep(simnet.Millisecond)
+		}
+	})
+	c.Run()
+	if got := in.FiredCount(); got != 2 {
+		t.Fatalf("fired %d events, want 2 (gated event must stay dormant)", got)
+	}
+	if deaths[1] != 1 || deaths[3] != 3 {
+		t.Fatalf("victims died at iters %d/%d, want 1/3", deaths[1], deaths[3])
+	}
+	if deaths[0] != 5 {
+		t.Fatal("gated event fired with zero recoveries")
+	}
+	// "Recovery" happens; a relaunched rank 0 replays and now dies at 1.
+	recoveries = 1
+	r0survived := false
+	c.StartProc(0, 0, func(sp *simnet.Proc) {
+		r := mpi.Bind(j, j.World().Member(0), sp)
+		for it := 0; it < 6; it++ {
+			in.MaybeFail(r, j.World(), it)
+		}
+		r0survived = true
+	})
+	c.Run()
+	if in.FiredCount() != 3 {
+		t.Fatalf("fired %d events after recovery, want 3", in.FiredCount())
+	}
+	if r0survived {
+		t.Fatal("rank 0 survived the armed AfterRecoveries event")
+	}
+}
+
 func TestNewPlanBounds(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
 		p := NewPlan(seed, 16, 100, ProcessFailure)

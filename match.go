@@ -27,6 +27,7 @@ import (
 	"match/internal/apps/appkit"
 	"match/internal/core"
 	"match/internal/depanal"
+	"match/internal/fault"
 	"match/internal/replica"
 )
 
@@ -56,6 +57,17 @@ type (
 	// replication factor, failover and fallback cost model); set it as
 	// Config.Replica.
 	ReplicaConfig = replica.Config
+	// FaultSchedule is an ordered multi-failure injection schedule; set it
+	// as Config.Schedule for explicit campaigns, or let Config.Faults draw
+	// one deterministically from the seed.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one failure of a FaultSchedule.
+	FaultEvent = fault.Event
+	// CampaignOptions shapes a multi-failure sweep (k = 0..MaxFaults
+	// failures per run, per app and design).
+	CampaignOptions = core.CampaignOptions
+	// Crossover is the campaign-level Replica-vs-Reinit analysis.
+	Crossover = core.Crossover
 )
 
 // The four fault-tolerance designs.
@@ -93,6 +105,32 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 // writing the series to w and returning the raw results.
 func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
 	return core.RunFigure(fig, opts, w)
+}
+
+// RunCampaign executes a multi-failure campaign sweep on the worker pool,
+// writing per-app tables of recovery time and total overhead vs failure
+// count to w and returning the raw results.
+func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
+	return core.RunCampaign(opts, w)
+}
+
+// RunConfigs executes arbitrary configurations on a bounded worker pool
+// (workers <= 0 means GOMAXPROCS) with deterministic result ordering.
+func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
+	return core.RunConfigs(cfgs, reps, workers)
+}
+
+// ParseFaultSchedule parses the campaign DSL, e.g. "3@40,3@55:after=1"
+// (rank@iter[:after=N][:replica=R][:kind=node]).
+func ParseFaultSchedule(spec string) (FaultSchedule, error) {
+	return fault.ParseSchedule(spec)
+}
+
+// ComputeCrossover derives the Replica-vs-Reinit crossover analysis from
+// campaign results: the failure count from which replication wins
+// end-to-end.
+func ComputeCrossover(results []Result) Crossover {
+	return core.ComputeCrossover(results)
 }
 
 // WriteTableI renders the paper's Table I with the reproduction's
