@@ -7,6 +7,7 @@
 //	match -design replica -replica-factor 0.5 -fault
 //	match -design ulfm -faults 3                      # multi-failure campaign
 //	match -fault-schedule "3@40,3@55:after=1"         # explicit schedule
+//	match -design replica -fault -detector ring -hb-period 50ms   # in-band detection
 //	match -list-designs
 package main
 
@@ -17,9 +18,11 @@ import (
 	"strings"
 
 	"match/internal/core"
+	"match/internal/detect"
 	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/replica"
+	"match/internal/simnet"
 )
 
 func main() {
@@ -39,6 +42,11 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions to average (the paper used 5)")
 	dupDegree := flag.Int("dup-degree", 0, "replica design: replicas per protected rank (default 2)")
 	replicaFactor := flag.Float64("replica-factor", 0, "replica design: fraction of ranks replicated (default 1; <1 = partial replication)")
+	detector := flag.String("detector", "preset", "failure-detection strategy: preset, launcher, ring, tree")
+	hbPeriod := flag.Duration("hb-period", 0, "ring/tree detector: heartbeat/supervision period (0 = strategy default)")
+	hbTimeout := flag.Duration("hb-timeout", 0, "ring/tree detector: observation timeout before a silent peer is declared dead (0 = 3x period)")
+	hbBytes := flag.Int("hb-bytes", 0, "ring/tree detector: heartbeat wire size in bytes (0 = strategy default)")
+	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
 	flag.Parse()
 
 	if *listDesigns {
@@ -68,6 +76,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-replica-factor %g invalid (want 0 < f <= 1, or 0 for the default)\n", *replicaFactor)
 		os.Exit(2)
 	}
+	dkind, err := detect.ParseKind(*detector)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if dkind != detect.Ring && dkind != detect.Tree && (*hbPeriod != 0 || *hbTimeout != 0 || *hbBytes != 0) {
+		fmt.Fprintf(os.Stderr, "-hb-period/-hb-timeout/-hb-bytes only apply to -detector ring or tree (got %s)\n", dkind)
+		os.Exit(2)
+	}
 
 	cfg := core.Config{
 		App:         *app,
@@ -82,6 +99,15 @@ func main() {
 			DupDegree:     *dupDegree,
 			ReplicaFactor: *replicaFactor,
 		},
+		// Resolved now (for explicit kinds) so the report shows the actual
+		// derived values; Preset stays zero and core resolves it per design.
+		Detector: detect.Resolve(detect.Config{
+			Kind:            dkind,
+			HeartbeatPeriod: simnet.Time(hbPeriod.Nanoseconds()),
+			DetectTimeout:   simnet.Time(hbTimeout.Nanoseconds()),
+			HeartbeatBytes:  *hbBytes,
+		}, detect.Config{}),
+		ModelIngress: *modelIngress,
 	}
 	if *faultSchedule != "" {
 		sched, err := fault.ParseSchedule(*faultSchedule)
@@ -120,6 +146,11 @@ func main() {
 	fmt.Printf("  write ckpts     %10.3f s  (%d checkpoints)\n", bd.Ckpt.Seconds(), bd.CkptCount)
 	fmt.Printf("  recovery        %10.3f s  (%d recoveries, %d faults fired)\n",
 		bd.Recovery.Seconds(), bd.Recoveries, bd.FaultsInjected)
+	// Label with the strategy the run actually used (a default run's
+	// "preset" resolves to the design's calibrated detector).
+	resolved, _ := core.ResolvedDetector(cfg) // Run already validated it
+	fmt.Printf("  detection       %10.3f s  (detector %s)\n",
+		bd.DetectLatency.Seconds(), resolved)
 	fmt.Printf("  total           %10.3f s\n", bd.Total.Seconds())
 	fmt.Printf("  signature       %g\n", bd.Signature)
 	fmt.Printf("  traffic         %d messages, %d bytes\n", bd.Messages, bd.NetBytes)

@@ -11,6 +11,7 @@
 //	matchsuite -verify               # recovered-answer correctness matrix
 //	matchsuite -csv out.csv -fig 5   # raw series for plotting
 //	matchsuite -campaign -max-faults 3 -j 8   # multi-failure sweep, k=0..3
+//	matchsuite -campaign -detector ring -hb-period 50ms,150ms   # detection-axis sweep
 package main
 
 import (
@@ -19,8 +20,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"match/internal/core"
+	"match/internal/detect"
+	"match/internal/simnet"
 )
 
 func main() {
@@ -38,6 +42,10 @@ func main() {
 	workers := flag.Int("j", 0, "sweep worker pool size (default GOMAXPROCS); result order is unaffected")
 	csvPath := flag.String("csv", "", "also write raw results as CSV")
 	seed := flag.Int64("seed", 1, "base fault seed")
+	detector := flag.String("detector", "preset", "failure-detection strategy for every run: preset, launcher, ring, tree")
+	hbPeriods := flag.String("hb-period", "", "detector heartbeat period(s); campaign mode sweeps a comma-separated list (e.g. 50ms,150ms)")
+	hbTimeout := flag.Duration("hb-timeout", 0, "detector observation timeout (0 = 3x period)")
+	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
 	flag.Parse()
 
 	if *maxFaults < 0 {
@@ -57,7 +65,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-procs only applies to -campaign; figure sweeps take -scales")
 		os.Exit(2)
 	}
-	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers}
+	dkind, err := detect.ParseKind(*detector)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tunable := dkind == detect.Ring || dkind == detect.Tree
+	if !tunable && *hbTimeout != 0 {
+		fmt.Fprintf(os.Stderr, "-hb-timeout only applies to -detector ring or tree (got %s)\n", dkind)
+		os.Exit(2)
+	}
+	var periods []simnet.Time
+	if *hbPeriods != "" {
+		if !tunable {
+			fmt.Fprintf(os.Stderr, "-hb-period only applies to -detector ring or tree (got %s)\n", dkind)
+			os.Exit(2)
+		}
+		for _, s := range strings.Split(*hbPeriods, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -hb-period:", err)
+				os.Exit(2)
+			}
+			periods = append(periods, simnet.Time(d.Nanoseconds()))
+		}
+	}
+	// The detection sweep list: one config per heartbeat period (a single
+	// config when only the kind or timeout is set).
+	var detectors []detect.Config
+	if dkind != detect.Preset {
+		if len(periods) == 0 {
+			periods = []simnet.Time{0}
+		}
+		for _, p := range periods {
+			// Resolve now so tables and CSV label the sweep with the actual
+			// derived values (e.g. the 3x-period timeout).
+			detectors = append(detectors, detect.Resolve(detect.Config{
+				Kind:            dkind,
+				HeartbeatPeriod: p,
+				DetectTimeout:   simnet.Time(hbTimeout.Nanoseconds()),
+			}, detect.Config{}))
+		}
+	}
+	if len(detectors) > 1 && !*campaign {
+		fmt.Fprintln(os.Stderr, "multiple -hb-period values sweep the detection axis; that needs -campaign")
+		os.Exit(2)
+	}
+
+	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers, ModelIngress: *modelIngress}
+	if len(detectors) == 1 {
+		opts.Detector = detectors[0]
+	}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
 	}
@@ -77,17 +135,22 @@ func main() {
 		core.WriteTableI(os.Stdout)
 	case *campaign:
 		copts := core.CampaignOptions{
-			Apps:      opts.Apps,
-			Procs:     *procs,
-			MaxFaults: *maxFaults,
-			Reps:      *reps,
-			Seed:      *seed,
-			Workers:   *workers,
+			Apps:         opts.Apps,
+			Procs:        *procs,
+			MaxFaults:    *maxFaults,
+			Reps:         *reps,
+			Seed:         *seed,
+			Workers:      *workers,
+			Detectors:    detectors,
+			ModelIngress: *modelIngress,
 		}
 		results, err := core.RunCampaign(copts, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if len(detectors) > 0 {
+			core.WriteDetectionTradeoff(os.Stdout, core.ComputeDetectionTradeoff(results))
 		}
 		core.ComputeCrossover(results).Write(os.Stdout)
 		writeCSV(*csvPath, results)

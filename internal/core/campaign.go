@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"match/internal/detect"
 )
 
 // CampaignOptions shapes a multi-failure sweep: for every app and design,
@@ -23,6 +25,16 @@ type CampaignOptions struct {
 	MaxFaults int
 	Reps      int // repetitions per cell (default 1)
 	Seed      int64
+	// Detectors adds the detection axis: every entry multiplies the
+	// campaign matrix, running each (app, k, design) cell under that
+	// detection strategy. Empty keeps the per-design calibrated presets.
+	// Sweeping e.g. a ring detector at several heartbeat periods measures
+	// the detection-latency/interference trade-off — including the regime
+	// where a failure lands inside the previous failure's detection
+	// window, which only exists under in-band detection.
+	Detectors []detect.Config
+	// ModelIngress switches receiver-NIC serialization on for every run.
+	ModelIngress bool
 	// Workers bounds the sweep worker pool; 0 means GOMAXPROCS. Campaign
 	// matrices multiply the figure run count by K+1, so they always run on
 	// the pool.
@@ -48,6 +60,9 @@ func (o *CampaignOptions) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if len(o.Detectors) == 0 {
+		o.Detectors = []detect.Config{{}} // per-design preset
+	}
 }
 
 // CampaignConfigs enumerates the campaign run matrix: app x k x design,
@@ -58,17 +73,21 @@ func CampaignConfigs(opts CampaignOptions) []Config {
 	opts.fill()
 	var out []Config
 	for _, app := range opts.Apps {
-		for k := 0; k <= opts.MaxFaults; k++ {
-			for _, d := range opts.Designs {
-				out = append(out, Config{
-					App:         app,
-					Design:      d,
-					Procs:       opts.Procs,
-					Input:       opts.Input,
-					InjectFault: k > 0,
-					Faults:      k,
-					FaultSeed:   opts.Seed,
-				})
+		for _, dc := range opts.Detectors {
+			for k := 0; k <= opts.MaxFaults; k++ {
+				for _, d := range opts.Designs {
+					out = append(out, Config{
+						App:          app,
+						Design:       d,
+						Procs:        opts.Procs,
+						Input:        opts.Input,
+						InjectFault:  k > 0,
+						Faults:       k,
+						FaultSeed:    opts.Seed,
+						Detector:     dc,
+						ModelIngress: opts.ModelIngress,
+					})
+				}
 			}
 		}
 	}
@@ -89,14 +108,16 @@ func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
 }
 
 // WriteCampaign renders campaign results: one block per application, one
-// row per (failure count, design), with the execution-time breakdown and
-// the total overhead relative to that design's own failure-free (k=0)
-// campaign cell.
+// row per (failure count, design) — and per detector, when the campaign
+// sweeps the detection axis — with the execution-time breakdown and the
+// total overhead relative to that design's own failure-free (k=0)
+// campaign cell under the same detector.
 func WriteCampaign(w io.Writer, results []Result) {
 	fmt.Fprintln(w, "== Multi-failure campaign: recovery time and total overhead vs failure count ==")
 	byApp := map[string][]Result{}
 	var apps []string
 	base := map[string]baseTotal{}
+	detectorSweep := false
 	for _, r := range results {
 		if _, ok := byApp[r.Config.App]; !ok {
 			apps = append(apps, r.Config.App)
@@ -104,6 +125,9 @@ func WriteCampaign(w io.Writer, results []Result) {
 		byApp[r.Config.App] = append(byApp[r.Config.App], r)
 		if r.Config.FaultCount() == 0 {
 			base[baselineKey(r.Config)] = baseTotal{t: r.Breakdown.Total.Seconds(), ok: true}
+		}
+		if r.Config.Detector.Kind != detect.Preset {
+			detectorSweep = true
 		}
 	}
 	sort.Strings(apps)
@@ -113,11 +137,19 @@ func WriteCampaign(w io.Writer, results []Result) {
 			if a, b := rs[i].Config.FaultCount(), rs[j].Config.FaultCount(); a != b {
 				return a < b
 			}
-			return rs[i].Config.Design < rs[j].Config.Design
+			if a, b := rs[i].Config.Design, rs[j].Config.Design; a != b {
+				return a < b
+			}
+			return rs[i].Config.Detector.String() < rs[j].Config.Detector.String()
 		})
 		fmt.Fprintf(w, "\n-- %s --\n", app)
-		fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s %12s\n",
-			"faults", "design", "recovered", "recovery(s)", "total(s)", "overhead(s)", "overhead(%)")
+		if detectorSweep {
+			fmt.Fprintf(w, "%-8s %-12s %-22s %10s %12s %10s %12s %12s %12s\n",
+				"faults", "design", "detector", "recovered", "recovery(s)", "detect(s)", "total(s)", "overhead(s)", "overhead(%)")
+		} else {
+			fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s %12s\n",
+				"faults", "design", "recovered", "recovery(s)", "total(s)", "overhead(s)", "overhead(%)")
+		}
 		for _, r := range rs {
 			bd := r.Breakdown
 			over, overPct := "", ""
@@ -128,9 +160,15 @@ func WriteCampaign(w io.Writer, results []Result) {
 					overPct = fmt.Sprintf("%11.1f%%", 100*d/b.t)
 				}
 			}
-			fmt.Fprintf(w, "%-8d %-12s %10d %12.3f %12.3f %12s %12s\n",
-				r.Config.FaultCount(), r.Config.Design, bd.Recoveries,
-				bd.Recovery.Seconds(), bd.Total.Seconds(), over, overPct)
+			if detectorSweep {
+				fmt.Fprintf(w, "%-8d %-12s %-22s %10d %12.3f %10.3f %12.3f %12s %12s\n",
+					r.Config.FaultCount(), r.Config.Design, r.Config.Detector, bd.Recoveries,
+					bd.Recovery.Seconds(), bd.DetectLatency.Seconds(), bd.Total.Seconds(), over, overPct)
+			} else {
+				fmt.Fprintf(w, "%-8d %-12s %10d %12.3f %12.3f %12s %12s\n",
+					r.Config.FaultCount(), r.Config.Design, bd.Recoveries,
+					bd.Recovery.Seconds(), bd.Total.Seconds(), over, overPct)
+			}
 		}
 	}
 	fmt.Fprintln(w)
@@ -143,5 +181,119 @@ type baseTotal struct {
 }
 
 func baselineKey(c Config) string {
-	return fmt.Sprintf("%s/%s/p%d/%s", c.App, c.Design, c.Procs, c.Input)
+	return fmt.Sprintf("%s/%s/p%d/%s/%s", c.App, c.Design, c.Procs, c.Input, c.Detector)
+}
+
+// DetectionTradeoff is one point of the detection-vs-interference curve: a
+// (design, detector) pair with its measured detection latency, recovery
+// time, and the steady-state cost of running that detector at all —
+// failure-free total time relative to the sweep's first detector
+// configuration for the same design and app.
+type DetectionTradeoff struct {
+	Design   Design
+	Detector string
+	// DetectPerFailure and RecoveryPerFailure average over every failure
+	// of every k>0 campaign cell (seconds).
+	DetectPerFailure   float64
+	RecoveryPerFailure float64
+	// InterferencePct is the failure-free (k=0) total-time overhead of
+	// this detector vs the sweep's baseline detector, averaged over apps.
+	InterferencePct float64
+	Cells           int
+}
+
+// ComputeDetectionTradeoff derives the per-design trade-off curve from
+// campaign results that swept the detection axis: how buying a shorter
+// detection latency (faster heartbeats) raises steady-state interference,
+// and vice versa. The baseline for interference is the first detector
+// configuration seen per (app, design) — the sweep's first entry.
+func ComputeDetectionTradeoff(results []Result) []DetectionTradeoff {
+	type key struct {
+		design   Design
+		detector string
+	}
+	type acc struct {
+		detectSum, recoverySum float64
+		failures               int
+		interfSum              float64
+		interfN                int
+		cells                  int
+	}
+	// Failure-free baseline per (app, design): first detector seen.
+	type adKey struct {
+		app    string
+		design Design
+	}
+	baseTotal := map[adKey]float64{}
+	for _, r := range results {
+		if r.Config.FaultCount() != 0 {
+			continue
+		}
+		k := adKey{r.Config.App, r.Config.Design}
+		if _, ok := baseTotal[k]; !ok {
+			baseTotal[k] = r.Breakdown.Total.Seconds()
+		}
+	}
+	accs := map[key]*acc{}
+	var order []key
+	for _, r := range results {
+		k := key{r.Config.Design, r.Config.Detector.String()}
+		a := accs[k]
+		if a == nil {
+			a = &acc{}
+			accs[k] = a
+			order = append(order, k)
+		}
+		a.cells++
+		if r.Config.FaultCount() == 0 {
+			if b, ok := baseTotal[adKey{r.Config.App, r.Config.Design}]; ok && b > 0 {
+				a.interfSum += 100 * (r.Breakdown.Total.Seconds() - b) / b
+				a.interfN++
+			}
+			continue
+		}
+		// Denominator: failures the detector confirmed — not recoveries,
+		// which can absorb several deaths in one repair and would inflate
+		// the per-failure latency.
+		if n := r.Breakdown.DetectedFailures; n > 0 {
+			a.detectSum += r.Breakdown.DetectLatency.Seconds()
+			a.recoverySum += r.Breakdown.Recovery.Seconds()
+			a.failures += n
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].design != order[j].design {
+			return order[i].design < order[j].design
+		}
+		return false // keep sweep order within a design
+	})
+	out := make([]DetectionTradeoff, 0, len(order))
+	for _, k := range order {
+		a := accs[k]
+		row := DetectionTradeoff{Design: k.design, Detector: k.detector, Cells: a.cells}
+		if a.failures > 0 {
+			row.DetectPerFailure = a.detectSum / float64(a.failures)
+			row.RecoveryPerFailure = a.recoverySum / float64(a.failures)
+		}
+		if a.interfN > 0 {
+			row.InterferencePct = a.interfSum / float64(a.interfN)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteDetectionTradeoff renders the detection-vs-interference curve.
+func WriteDetectionTradeoff(w io.Writer, rows []DetectionTradeoff) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "== Detection latency vs steady-state interference (per design) ==")
+	fmt.Fprintf(w, "%-12s %-22s %15s %15s %16s\n",
+		"design", "detector", "detect/fail(s)", "recover/fail(s)", "interference(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-22s %15.3f %15.3f %15.2f%%\n",
+			r.Design, r.Detector, r.DetectPerFailure, r.RecoveryPerFailure, r.InterferencePct)
+	}
+	fmt.Fprintln(w)
 }

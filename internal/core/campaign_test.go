@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"match/internal/detect"
 	"match/internal/fault"
+	"match/internal/simnet"
 )
 
 // A k=1 campaign cell must reproduce today's single-failure run
@@ -165,6 +167,97 @@ func TestCampaignAllAppsK3Small64(t *testing.T) {
 		if r.Breakdown.Recoveries < 1 {
 			t.Errorf("%s: no recovery recorded", r.Key())
 		}
+	}
+}
+
+// TestCampaignDetectorSweepDimension pins the detection axis of the
+// campaign matrix: every detector configuration multiplies the cells, the
+// sweep completes, and the trade-off analysis yields one row per
+// (design, detector) with the slower ring reporting the larger detection
+// latency.
+func TestCampaignDetectorSweepDimension(t *testing.T) {
+	detectors := []detect.Config{
+		detect.Resolve(detect.Config{Kind: detect.Ring, HeartbeatPeriod: 50 * simnet.Millisecond}, detect.Config{}),
+		detect.Resolve(detect.Config{Kind: detect.Ring, HeartbeatPeriod: 150 * simnet.Millisecond}, detect.Config{}),
+	}
+	opts := CampaignOptions{
+		Apps:      []string{"HPCCG"},
+		Procs:     8,
+		MaxFaults: 1,
+		Seed:      3,
+		Detectors: detectors,
+	}
+	if got, want := len(CampaignConfigs(opts)), 2*2*len(Designs()); got != want {
+		t.Fatalf("sweep size = %d, want %d (detectors x k x designs)", got, want)
+	}
+	var out strings.Builder
+	results, err := RunCampaign(opts, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "detector") {
+		t.Fatalf("campaign table misses the detector column:\n%s", out.String())
+	}
+	rows := ComputeDetectionTradeoff(results)
+	if len(rows) != 2*len(Designs()) {
+		t.Fatalf("tradeoff rows = %d, want %d", len(rows), 2*len(Designs()))
+	}
+	perDesign := map[Design][]DetectionTradeoff{}
+	for _, r := range rows {
+		perDesign[r.Design] = append(perDesign[r.Design], r)
+	}
+	for d, rs := range perDesign {
+		if len(rs) != 2 {
+			t.Fatalf("%s: %d tradeoff rows, want 2", d, len(rs))
+		}
+		// Sweep order is preserved: rs[0] is the 50ms ring, rs[1] the 150ms
+		// one; detection latency must grow with the period for every design.
+		if rs[0].DetectPerFailure >= rs[1].DetectPerFailure {
+			t.Fatalf("%s: detect/fail not monotonic in period: %+v", d, rs)
+		}
+	}
+	var sb strings.Builder
+	WriteDetectionTradeoff(&sb, rows)
+	if !strings.Contains(sb.String(), "interference") {
+		t.Fatalf("tradeoff table malformed:\n%s", sb.String())
+	}
+}
+
+// TestInWindowFailureRegime pins the regime only in-band detection can
+// express: two replica deaths in one group landing inside a single
+// detection window. Under the instant launcher preset the first death is
+// handled by a failover before the second arrives (two recoveries); under
+// a ring detector the second death beats the first confirmation, so the
+// group is already exhausted when the runtime finally learns of it and
+// the run goes straight to the checkpoint fallback (one recovery).
+func TestInWindowFailureRegime(t *testing.T) {
+	params := tinyParams("HPCCG")
+	params.CkptStride = 3
+	sched := fault.Schedule{Events: []fault.Event{
+		{TargetRank: 2, TargetIter: 2, TargetReplica: 1},
+		{TargetRank: 2, TargetIter: 4, TargetReplica: 0},
+	}}
+	base := Config{App: "HPCCG", Design: ReplicaFTI, Procs: 8, Nodes: 4,
+		Params: params, Schedule: &sched}
+
+	launcher, err := Run(base)
+	if err != nil {
+		t.Fatalf("launcher preset: %v", err)
+	}
+	ring := base
+	ring.Detector = detect.Config{Kind: detect.Ring, HeartbeatPeriod: 50 * simnet.Millisecond}
+	inband, err := Run(ring)
+	if err != nil {
+		t.Fatalf("ring detector: %v", err)
+	}
+	if launcher.Recoveries != 2 {
+		t.Fatalf("launcher recoveries = %d, want 2 (failover then fallback)", launcher.Recoveries)
+	}
+	if inband.Recoveries != 1 {
+		t.Fatalf("in-band recoveries = %d, want 1 (second death inside the window exhausts the group before confirmation)", inband.Recoveries)
+	}
+	if launcher.Signature != inband.Signature {
+		t.Fatalf("answers diverge: %v vs %v", launcher.Signature, inband.Signature)
 	}
 }
 

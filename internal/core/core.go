@@ -14,6 +14,7 @@ import (
 
 	"match/internal/apps"
 	"match/internal/apps/appkit"
+	"match/internal/detect"
 	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/mpi"
@@ -131,6 +132,24 @@ type Config struct {
 	FTILevel   fti.Level // default L1, as the paper benchmarks
 	CkptStride int       // default 10, as the paper
 
+	// Detector selects and tunes the failure-detection strategy shared by
+	// all four designs (internal/detect). The zero value keeps each
+	// design's calibrated preset: ULFM's ring heartbeat, Reinit's daemon
+	// tree, and the instant SIGCHLD-style launcher for Restart/Replica —
+	// reproducing the calibrated Figure 6/9 numbers byte-for-byte. An
+	// explicit kind (detect.Ring, detect.Tree, detect.Launcher) runs every
+	// design under the same detection model, making detection latency and
+	// heartbeat interference a sweepable axis.
+	Detector detect.Config
+
+	// ModelIngress additionally serializes traffic on receiver NICs (see
+	// simnet.Config.ModelIngress). Default off for every design, keeping
+	// the seed's egress-only calibration; turning it on charges realistic
+	// queueing delay for duplicated inbound streams (most visible under
+	// ReplicaFTI, which used to force it on) at the cost of shifting all
+	// calibrated timings slightly.
+	ModelIngress bool
+
 	// Overrides for ablation studies; zero values select the calibrated
 	// defaults.
 	Ulfm    ulfm.Config
@@ -165,6 +184,20 @@ type Breakdown struct {
 	App      simnet.Time // Total - Ckpt - Recovery
 	Ckpt     simnet.Time // time inside FTI_Checkpoint (rank 0)
 	Recovery simnet.Time // MPI recovery time (framework-reported)
+	// DetectLatency measures the detection share of Recovery: the sum over
+	// confirmed failures of how long the active detector took from its
+	// first observation of the death to confirmation. It is contained
+	// within Recovery, not additional to it — do not add the two when
+	// summing components. Exactly zero under the Launcher strategy (the
+	// SIGCHLD chain is instant; any launcher reaction delay is recovery
+	// logistics, not detection).
+	DetectLatency simnet.Time
+	// DetectedFailures counts the failures the detection subsystem
+	// confirmed (teardown kills excluded) — the denominator for
+	// per-failure detection latency. It can exceed Recoveries when one
+	// repair absorbs several deaths, and FaultsInjected when a node
+	// failure kills several processes.
+	DetectedFailures int
 
 	Signature  float64 // collective answer fingerprint (rank 0)
 	Recoveries int
@@ -234,10 +267,22 @@ func Run(cfg Config) (Breakdown, error) {
 	}
 	params.CkptStride = cfg.CkptStride
 
-	// ReplicaFTI doubles the inbound traffic at replicated ranks, so its
-	// cluster serializes ingress NICs too; the paper's three designs keep
-	// the seed's egress-only model and its calibrated timings.
-	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes, ModelIngress: cfg.Design == ReplicaFTI})
+	// Resolve the detection strategy against the design's calibrated
+	// preset and reject configurations that could never detect, before any
+	// simulation state exists.
+	dcfg, err := resolveDetector(cfg)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	cfg.Ulfm.Detect = dcfg
+	cfg.Reinit.Detect = dcfg
+	cfg.Restart.Detect = dcfg
+	cfg.Replica.Detect = dcfg
+
+	// Ingress-NIC serialization is one knob for all designs (default off,
+	// matching the seed's egress-only calibration). ReplicaFTI historically
+	// forced it on; see the README's detection/calibration notes.
+	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes, ModelIngress: cfg.ModelIngress})
 	cluster.Scheduler().SetDeadline(200000 * simnet.Second) // deadlock net
 	st := storage.New(cluster, storage.Config{BytesScale: scale})
 
@@ -332,6 +377,35 @@ func Run(cfg Config) (Breakdown, error) {
 	return bd, nil
 }
 
+// ResolvedDetector reports the detection configuration a Run of cfg will
+// actually use: cfg.Detector merged with the design's calibrated preset
+// (e.g. the ULFM ring parameters for a default ULFM run). Reporting code
+// uses it to label measurements with the real strategy instead of
+// "preset".
+func ResolvedDetector(cfg Config) (detect.Config, error) { return resolveDetector(cfg) }
+
+// resolveDetector merges cfg.Detector with the design's calibrated preset
+// and validates the result (e.g. rejecting zero-period ring detectors and
+// timeouts shorter than the heartbeat period).
+func resolveDetector(cfg Config) (detect.Config, error) {
+	var preset detect.Config
+	switch cfg.Design {
+	case UlfmFTI:
+		preset = cfg.Ulfm.DetectPreset()
+	case ReinitFTI:
+		preset = cfg.Reinit.DetectPreset()
+	case RestartFTI:
+		preset = cfg.Restart.DetectPreset()
+	case ReplicaFTI:
+		preset = cfg.Replica.DetectPreset()
+	}
+	d := detect.Resolve(cfg.Detector, preset)
+	if err := d.Validate(); err != nil {
+		return detect.Config{}, err
+	}
+	return d, nil
+}
+
 // validateSchedule rejects explicit schedule events that could never fire
 // — a silent no-op failure would report a failure-free run as a campaign.
 func validateSchedule(s fault.Schedule, cfg Config, maxIter int) error {
@@ -383,6 +457,7 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		bd.Recovery += rcv.Duration()
 	}
 	bd.Recoveries = len(sup.Recoveries)
+	bd.DetectLatency, bd.DetectedFailures = detect.Totals(sup.Detectors...)
 	for _, j := range sup.Jobs {
 		bd.Messages += j.Stats.Messages
 		bd.NetBytes += j.Stats.Bytes
@@ -410,6 +485,7 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		bd.Recovery += rcv.Duration()
 	}
 	bd.Recoveries = len(rt.Recoveries)
+	bd.DetectLatency, bd.DetectedFailures = detect.Totals(rt.Detector())
 	bd.Messages = job.Stats.Messages
 	bd.NetBytes = job.Stats.Bytes
 	return nil
@@ -435,6 +511,7 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		bd.Recovery += rcv.Duration()
 	}
 	bd.Recoveries = len(rt.Recoveries)
+	bd.DetectLatency, bd.DetectedFailures = detect.Totals(rt.Detector())
 	bd.Messages = job.Stats.Messages
 	bd.NetBytes = job.Stats.Bytes
 	return nil
@@ -477,6 +554,7 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		bd.Recovery += rcv.Duration()
 	}
 	bd.Recoveries = len(sup.Recoveries)
+	bd.DetectLatency, bd.DetectedFailures = detect.Totals(sup.Detectors...)
 	for _, j := range sup.Jobs {
 		bd.Messages += j.Stats.Messages
 		bd.NetBytes += j.Stats.Bytes

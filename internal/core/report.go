@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"match/internal/detect"
 	"match/internal/simnet"
 )
 
@@ -48,6 +49,8 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 		acc.App += bd.App
 		acc.Ckpt += bd.Ckpt
 		acc.Recovery += bd.Recovery
+		acc.DetectLatency += bd.DetectLatency
+		acc.DetectedFailures += bd.DetectedFailures
 		acc.Recoveries += bd.Recoveries
 		acc.FaultsInjected += bd.FaultsInjected
 		acc.CkptCount += bd.CkptCount
@@ -60,6 +63,8 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	acc.App /= n
 	acc.Ckpt /= n
 	acc.Recovery /= n
+	acc.DetectLatency /= n
+	acc.DetectedFailures = int(divRound(int64(acc.DetectedFailures), reps))
 	acc.Recoveries = int(divRound(int64(acc.Recoveries), reps))
 	acc.FaultsInjected = int(divRound(int64(acc.FaultsInjected), reps))
 	acc.CkptCount = int(divRound(int64(acc.CkptCount), reps))
@@ -86,6 +91,11 @@ type SuiteOptions struct {
 	// Workers bounds the worker pool the sweep runs on; 0 means
 	// GOMAXPROCS. Result ordering is independent of the worker count.
 	Workers int
+	// Detector applies one detection strategy to every run of the sweep
+	// (ablation); the zero value keeps the per-design calibrated presets.
+	Detector detect.Config
+	// ModelIngress switches receiver-NIC serialization on for every run.
+	ModelIngress bool
 }
 
 func (o *SuiteOptions) fill() {
@@ -137,12 +147,14 @@ func FigureConfigs(fig int, opts SuiteOptions) ([]Config, error) {
 			for _, in := range inputs {
 				for _, d := range Designs() {
 					out = append(out, Config{
-						App:         app,
-						Design:      d,
-						Procs:       procs,
-						Input:       in,
-						InjectFault: fault,
-						FaultSeed:   opts.Seed,
+						App:          app,
+						Design:       d,
+						Procs:        procs,
+						Input:        in,
+						InjectFault:  fault,
+						FaultSeed:    opts.Seed,
+						Detector:     opts.Detector,
+						ModelIngress: opts.ModelIngress,
 					})
 				}
 			}
@@ -310,13 +322,13 @@ func WriteFigure(w io.Writer, fig int, results []Result) {
 // is the scheduled failure count of the configuration (campaign sweeps
 // vary it; the paper's figures have it at 0 or 1).
 func WriteCSV(w io.Writer, results []Result) {
-	fmt.Fprintln(w, "app,design,procs,input,faults,app_s,ckpt_s,recovery_s,total_s,recoveries,messages,net_bytes")
+	fmt.Fprintln(w, "app,design,procs,input,faults,detector,app_s,ckpt_s,recovery_s,detect_s,total_s,recoveries,messages,net_bytes")
 	for _, r := range results {
 		bd := r.Breakdown
-		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
 			r.Config.App, r.Config.Design, r.Config.Procs, r.Config.Input,
-			r.Config.FaultCount(), bd.App.Seconds(), bd.Ckpt.Seconds(),
-			bd.Recovery.Seconds(), bd.Total.Seconds(), bd.Recoveries,
+			r.Config.FaultCount(), r.Config.Detector, bd.App.Seconds(), bd.Ckpt.Seconds(),
+			bd.Recovery.Seconds(), bd.DetectLatency.Seconds(), bd.Total.Seconds(), bd.Recoveries,
 			bd.Messages, bd.NetBytes)
 	}
 }

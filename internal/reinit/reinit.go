@@ -4,18 +4,20 @@
 //
 // The application wraps its main in a resilient function (the paper's
 // Figure 2). On a process failure the runtime: detects the failure through
-// its daemons, flushes all communication state, respawns the failed
-// process on its node, rebuilds the world communicator, and unwinds every
-// survivor back into the resilient function with state Restarted — the
-// runtime-level equivalent of longjmp. Because everything happens in the
-// runtime with small control messages, recovery cost is low and
-// independent of both the process count and the problem size, which is
-// exactly the behavior the paper measures (Figures 7 and 10).
+// its daemons (the shared internal/detect Tree strategy), flushes all
+// communication state, respawns the failed process on its node, rebuilds
+// the world communicator, and unwinds every survivor back into the
+// resilient function with state Restarted — the runtime-level equivalent
+// of longjmp. Because everything happens in the runtime with small control
+// messages, recovery cost is low and independent of both the process count
+// and the problem size, which is exactly the behavior the paper measures
+// (Figures 7 and 10).
 package reinit
 
 import (
 	"fmt"
 
+	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
 )
@@ -50,6 +52,12 @@ type Config struct {
 	DetectTimeout simnet.Time // time from death to confirmed detection
 	RespawnDelay  simnet.Time // fork/exec + MPI init of the replacement
 	ResetHop      simnet.Time // per-tree-level latency of the reset broadcast
+
+	// Detect overrides the failure-detection strategy entirely (ablation:
+	// run Reinit's global restart under a ring or instant launcher
+	// detector). The zero value keeps the calibrated daemon-tree preset
+	// assembled from DetectPeriod/DetectTimeout above.
+	Detect detect.Config
 }
 
 // DefaultConfig returns the Reinit++ cost model used in the experiments.
@@ -59,6 +67,35 @@ func DefaultConfig() Config {
 		DetectTimeout: 100 * simnet.Millisecond,
 		RespawnDelay:  250 * simnet.Millisecond,
 		ResetHop:      2 * simnet.Millisecond,
+	}
+}
+
+// fillDefaults replaces zero fields with the calibrated defaults.
+func (c *Config) fillDefaults() {
+	def := DefaultConfig()
+	if c.DetectPeriod == 0 {
+		c.DetectPeriod = def.DetectPeriod
+	}
+	if c.DetectTimeout == 0 {
+		c.DetectTimeout = def.DetectTimeout
+	}
+	if c.RespawnDelay == 0 {
+		c.RespawnDelay = def.RespawnDelay
+	}
+	if c.ResetHop == 0 {
+		c.ResetHop = def.ResetHop
+	}
+}
+
+// DetectPreset is Reinit's calibrated detection model — the daemon
+// supervision tree — expressed as a detect.Config. core.Run resolves
+// Config.Detect against this.
+func (c Config) DetectPreset() detect.Config {
+	c.fillDefaults()
+	return detect.Config{
+		Kind:            detect.Tree,
+		HeartbeatPeriod: c.DetectPeriod,
+		DetectTimeout:   c.DetectTimeout,
 	}
 }
 
@@ -79,13 +116,11 @@ func (rec Recovery) Duration() simnet.Time { return rec.CompletedAt - rec.Failed
 type Runtime struct {
 	job  *mpi.Job
 	cfg  Config
+	det  detect.Detector
 	main func(*mpi.Rank, State) error
 
-	world    *mpi.Comm
-	resets   int
-	failedAt map[int]simnet.Time // gid -> death time
-	seen     map[int]bool
-	stopped  bool
+	world  *mpi.Comm
+	resets int
 
 	// Recoveries lists completed global restarts.
 	Recoveries []Recovery
@@ -95,98 +130,45 @@ type Runtime struct {
 
 // NewRuntime installs the Reinit runtime on a job. main is the resilient
 // function every rank (including future replacements) executes; ranks
-// enter it through Run. The monitor starts immediately.
+// enter it through Run. The failure monitor (cfg.Detect, preset: the
+// daemon tree) starts immediately. An invalid explicit detector
+// configuration panics; validate with detect.Config.Validate (core.Run
+// does) before constructing.
 func NewRuntime(job *mpi.Job, cfg Config, main func(*mpi.Rank, State) error) *Runtime {
-	def := DefaultConfig()
-	if cfg.DetectPeriod == 0 {
-		cfg.DetectPeriod = def.DetectPeriod
-	}
-	if cfg.DetectTimeout == 0 {
-		cfg.DetectTimeout = def.DetectTimeout
-	}
-	if cfg.RespawnDelay == 0 {
-		cfg.RespawnDelay = def.RespawnDelay
-	}
-	if cfg.ResetHop == 0 {
-		cfg.ResetHop = def.ResetHop
-	}
+	cfg.fillDefaults()
 	rt := &Runtime{
-		job:      job,
-		cfg:      cfg,
-		main:     main,
-		world:    job.World(),
-		failedAt: make(map[int]simnet.Time),
-		seen:     make(map[int]bool),
+		job:   job,
+		cfg:   cfg,
+		main:  main,
+		world: job.World(),
 	}
-	rt.watchExits(rt.world.Members())
-	job.Cluster().Scheduler().After(cfg.DetectPeriod, rt.tick)
+	rt.det = detect.MustNew(detect.Resolve(cfg.Detect, cfg.DetectPreset()), job, rt.onFailure)
+	rt.det.SetWorld(rt.world)
 	return rt
 }
-
-// watchExits records exact death times of processes (the runtime daemons
-// see the SIGCHLD immediately; confirmation takes DetectTimeout).
-func (rt *Runtime) watchExits(procs []*mpi.Process) {
-	for _, p := range procs {
-		p := p
-		if sp := procOf(p); sp != nil {
-			sp.OnExit(func(s *simnet.Proc) {
-				if s.Status() == simnet.ExitKilled {
-					if _, ok := rt.failedAt[p.GID()]; !ok {
-						rt.failedAt[p.GID()] = s.Now()
-					}
-				}
-			})
-		}
-	}
-}
-
-// procOf extracts the simnet process; nil-safe for not-yet-started procs.
-func procOf(p *mpi.Process) *simnet.Proc { return p.SimProc() }
 
 // World returns the current world communicator; it changes on every global
 // restart (the worldc swap of the paper's Figure 3, done by the runtime).
 func (rt *Runtime) World() *mpi.Comm { return rt.world }
 
+// Detector exposes the failure detector (the harness reads its confirmed
+// failures for the detection-latency breakdown).
+func (rt *Runtime) Detector() detect.Detector { return rt.det }
+
 // Resets returns how many global restarts have happened.
 func (rt *Runtime) Resets() int { return rt.resets }
 
 // Stop halts the failure monitor (job teardown).
-func (rt *Runtime) Stop() { rt.stopped = true }
+func (rt *Runtime) Stop() { rt.det.Stop() }
 
-// tick is the daemon supervision loop.
-func (rt *Runtime) tick() {
-	if rt.stopped {
-		return
+// onFailure is the detector's confirmation callback: every confirmed
+// process failure triggers one global restart.
+func (rt *Runtime) onFailure(f detect.Failure) {
+	rank := rt.world.RankOf(f.GID)
+	if rank < 0 {
+		return // already replaced by an earlier restart this round
 	}
-	now := rt.job.Cluster().Now()
-	allExited := true
-	for _, p := range rt.world.Members() {
-		sp := procOf(p)
-		if sp == nil || !sp.Exited() {
-			allExited = false
-		}
-		if !p.Failed() {
-			continue
-		}
-		gid := p.GID()
-		if rt.seen[gid] {
-			continue
-		}
-		failed, ok := rt.failedAt[gid]
-		if !ok {
-			failed = now
-			rt.failedAt[gid] = now
-		}
-		if now-failed >= rt.cfg.DetectTimeout {
-			rt.seen[gid] = true
-			rt.globalRestart(p, failed, now)
-			allExited = false
-		}
-	}
-	if allExited {
-		return // job finished; let the scheduler drain
-	}
-	rt.job.Cluster().Scheduler().After(rt.cfg.DetectPeriod, rt.tick)
+	rt.globalRestart(rt.world.Member(rank), f.FailedAt, f.DetectedAt)
 }
 
 // globalRestart is the runtime's recovery path: flush communication,
@@ -214,10 +196,10 @@ func (rt *Runtime) globalRestart(failed *mpi.Process, failedAt, detectedAt simne
 		}
 	})
 	repl.SetSimProc(sp)
-	rt.watchExits([]*mpi.Process{repl})
 
-	// 3. Rebuild the world communicator.
+	// 3. Rebuild the world communicator; the daemons supervise it.
 	rt.world = rt.job.NewComm(members)
+	rt.det.SetWorld(rt.world)
 
 	// 4. Unwind survivors via the daemon tree: rank i learns about the
 	// reset after depth(i) hops.
@@ -225,7 +207,7 @@ func (rt *Runtime) globalRestart(failed *mpi.Process, failedAt, detectedAt simne
 		if p == repl || p.Failed() {
 			continue
 		}
-		spv := procOf(p)
+		spv := p.SimProc()
 		if spv == nil || spv.Exited() {
 			continue
 		}

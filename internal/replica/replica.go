@@ -28,6 +28,7 @@ package replica
 import (
 	"fmt"
 
+	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
 )
@@ -49,7 +50,9 @@ type Config struct {
 	// to every point-to-point operation (default 1µs).
 	PerOpOverhead simnet.Time
 	// FailoverDetect is the time for the runtime daemons to notice a dead
-	// replica (SIGCHLD-style, default 5ms).
+	// replica (SIGCHLD-style, default 5ms). It applies only under the
+	// Launcher detection preset; an in-band detector replaces it with its
+	// own confirmation latency.
 	FailoverDetect simnet.Time
 	// ElectionDelay is the leader election plus group-membership update
 	// after a replica death (default 15ms). Detection plus election
@@ -66,10 +69,19 @@ type Config struct {
 	RelaunchPerProc simnet.Time
 	// MaxRelaunches bounds fallback loops (default 8).
 	MaxRelaunches int
+	// Detect overrides the failure-detection strategy (ablation: the
+	// OCFTL-style in-band ring the ROADMAP calls for is -detector ring).
+	// The zero value keeps the instant launcher preset.
+	Detect detect.Config
 	// OnLaunch, when set, runs on every job incarnation right after launch
 	// (the harness installs per-run job knobs with it).
 	OnLaunch func(*mpi.Job)
 }
+
+// DetectPreset is Replica's detection model: the launcher/daemon SIGCHLD
+// chain, i.e. instant out-of-band detection (the runtime then pays
+// FailoverDetect to act on it).
+func (c Config) DetectPreset() detect.Config { return detect.LauncherConfig() }
 
 // DefaultConfig returns the calibrated replication cost model.
 func DefaultConfig() Config {
@@ -198,6 +210,7 @@ type Recovery struct {
 	Rank        int // logical rank involved
 	Replica     int // replica index that died
 	FailedAt    simnet.Time
+	DetectedAt  simnet.Time // when the runtime learned of the death
 	CompletedAt simnet.Time
 }
 
@@ -210,11 +223,15 @@ func (r Recovery) Duration() simnet.Time { return r.CompletedAt - r.FailedAt }
 type Supervisor struct {
 	cluster *simnet.Cluster
 	cfg     Config
+	dcfg    detect.Config
 	layout  Layout
 	main    func(r *mpi.Rank, world *mpi.Comm, replica int)
 
 	// Jobs lists every launched incarnation, newest last.
 	Jobs []*mpi.Job
+	// Detectors lists the per-incarnation failure detectors, parallel to
+	// Jobs (the harness sums their confirmed failures' latencies).
+	Detectors []detect.Detector
 	// Recoveries lists failovers and fallback relaunches in order.
 	Recoveries []Recovery
 	// GaveUp is set when MaxRelaunches was exhausted.
@@ -223,6 +240,10 @@ type Supervisor struct {
 	world      *mpi.Comm
 	rankDone   []bool
 	restarting bool
+	// gidRank/gidIdx map the current incarnation's physical processes back
+	// to (logical rank, replica index) for detector-driven recovery.
+	gidRank map[int]int
+	gidIdx  map[int]int
 }
 
 // Supervise launches n logical ranks under replication and returns the
@@ -238,6 +259,7 @@ func Supervise(c *simnet.Cluster, cfg Config, n int, main func(*mpi.Rank, *mpi.C
 		main:     main,
 		rankDone: make([]bool, n),
 	}
+	s.dcfg = detect.Resolve(cfg.Detect, cfg.DetectPreset())
 	s.launch(0)
 	return s
 }
@@ -303,23 +325,40 @@ func (s *Supervisor) launch(delay simnet.Time) {
 	}
 	s.Jobs = append(s.Jobs, job)
 	s.world = world
+	s.gidRank = make(map[int]int, s.layout.Total)
+	s.gidIdx = make(map[int]int, s.layout.Total)
+	var phys []*mpi.Process
 	for i := 0; i < n; i++ {
 		for k, p := range groups[i] {
 			i, k, p := i, k, p
+			s.gidRank[p.GID()] = i
+			s.gidIdx[p.GID()] = k
 			sp := s.cluster.StartProc(p.NodeID(), delay, func(sp *simnet.Proc) {
 				s.main(mpi.Bind(job, p, sp), world, k)
 			})
 			p.SetSimProc(sp)
 			sp.OnExit(func(sp *simnet.Proc) {
-				s.onExit(job, world, i, k, p, sp)
+				s.onExit(job, i, p, sp)
 			})
 		}
 	}
+	// The detector watches every physical process — failures of shadow
+	// replicas matter as much as leader failures. Under the ring strategy
+	// the heartbeat ring (and its interference) therefore spans the
+	// physical job, like FTHP-MPI's replica heartbeats.
+	for i := 0; i < n; i++ {
+		phys = append(phys, groups[i]...)
+	}
+	det := detect.MustNew(s.dcfg, job, func(f detect.Failure) { s.onFailure(job, world, f) })
+	det.SetProcs(phys)
+	s.Detectors = append(s.Detectors, det)
 }
 
-// onExit is the runtime daemon's process watcher: it classifies every
-// termination and drives failover or fallback.
-func (s *Supervisor) onExit(job *mpi.Job, world *mpi.Comm, rank, idx int, p *mpi.Process, sp *simnet.Proc) {
+// onExit is the node daemon's process watcher: it records completions and
+// marks deaths in the message layer immediately (copies to a dead replica
+// are dropped at delivery). *Reacting* to a death waits for the failure
+// detector's confirmation in onFailure.
+func (s *Supervisor) onExit(job *mpi.Job, rank int, p *mpi.Process, sp *simnet.Proc) {
 	if job != s.CurrentJob() {
 		return // stale incarnation
 	}
@@ -328,14 +367,27 @@ func (s *Supervisor) onExit(job *mpi.Job, world *mpi.Comm, rank, idx int, p *mpi
 		s.rankDone[rank] = true
 	case simnet.ExitKilled:
 		job.MarkFailed(p.GID())
-		if s.restarting || job.Aborted() {
-			return // kills caused by our own teardown
-		}
-		if s.groupAlive(world, rank) {
-			s.failover(job, world, rank, idx, p, sp.Now())
-		} else if !s.groupCompleted(world, rank) {
-			s.fallback(job, rank, sp.Now())
-		}
+	}
+}
+
+// onFailure drives recovery once the detector confirms a death: failover
+// while the group still has a survivor, checkpoint fallback otherwise.
+// Under an in-band detector a second failure landing inside the first's
+// observation window is only discovered here — by which time the group may
+// already be exhausted, sending the run down the fallback path the instant
+// launcher preset would have avoided.
+func (s *Supervisor) onFailure(job *mpi.Job, world *mpi.Comm, f detect.Failure) {
+	if job != s.CurrentJob() || s.restarting || job.Aborted() {
+		return // stale incarnation, or kills caused by our own teardown
+	}
+	rank, ok := s.gidRank[f.GID]
+	if !ok {
+		return
+	}
+	if s.groupAlive(world, rank) {
+		s.failover(job, world, rank, s.gidIdx[f.GID], f)
+	} else if !s.groupCompleted(world, rank) {
+		s.fallback(job, rank, f)
 	}
 }
 
@@ -366,22 +418,28 @@ func (s *Supervisor) groupCompleted(world *mpi.Comm, rank int) bool {
 // failover is the rollback-free path: elect a new leader among the
 // survivors, update the group membership everywhere, and keep going. The
 // application never re-executes an instruction.
-func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, dead *mpi.Process, failedAt simnet.Time) {
-	completed := failedAt + s.cfg.FailoverDetect + s.cfg.ElectionDelay
+func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, f detect.Failure) {
+	// Under the launcher preset the daemons pay FailoverDetect to notice
+	// the SIGCHLD; an in-band detector has already paid its own latency.
+	detected := f.DetectedAt
+	if s.dcfg.Kind == detect.Launcher {
+		detected = f.FailedAt + s.cfg.FailoverDetect
+	}
+	completed := detected + s.cfg.ElectionDelay
 	s.Recoveries = append(s.Recoveries, Recovery{
 		Kind: Failover, Rank: rank, Replica: idx,
-		FailedAt: failedAt, CompletedAt: completed,
+		FailedAt: f.FailedAt, DetectedAt: detected, CompletedAt: completed,
 	})
 	s.cluster.Scheduler().At(completed, func() {
 		if job != s.CurrentJob() || job.Aborted() {
 			return
 		}
-		world.PruneReplica(dead.GID())
+		world.PruneReplica(f.GID)
 		world.PromoteLeader(rank)
 		// The global fault notification quiesces every surviving process
 		// for the detection+election window — the whole recovery cost;
 		// nothing is rolled back or recomputed.
-		quiesce := s.cfg.FailoverDetect + s.cfg.ElectionDelay
+		quiesce := completed - f.FailedAt
 		for r := 0; r < s.layout.Procs; r++ {
 			for _, m := range world.ReplicaGroup(r) {
 				if !m.Failed() {
@@ -395,9 +453,18 @@ func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, dead
 // fallback is the checkpoint-only path: no copy of the rank's state
 // survives, so replication has nothing left to offer — tear the job down
 // and redeploy it; FTI then restores the last committed checkpoint.
-func (s *Supervisor) fallback(job *mpi.Job, rank int, failedAt simnet.Time) {
+func (s *Supervisor) fallback(job *mpi.Job, rank int, f detect.Failure) {
 	s.restarting = true
-	s.cluster.Scheduler().After(s.cfg.DetectDelay, func() {
+	// The incarnation is doomed; stop confirming the teardown kills that
+	// follow.
+	s.Detectors[len(s.Detectors)-1].Stop()
+	// Under the launcher preset the launcher pays DetectDelay before
+	// aborting; an in-band detector notifies it at confirmation.
+	delay0 := s.cfg.DetectDelay
+	if s.dcfg.Kind != detect.Launcher {
+		delay0 = 0
+	}
+	s.cluster.Scheduler().After(delay0, func() {
 		abortedAt := s.cluster.Now()
 		job.Abort()
 		if s.Relaunches() >= s.cfg.MaxRelaunches {
@@ -408,7 +475,9 @@ func (s *Supervisor) fallback(job *mpi.Job, rank int, failedAt simnet.Time) {
 			simnet.Time(s.layout.Total)*s.cfg.RelaunchPerProc
 		s.Recoveries = append(s.Recoveries, Recovery{
 			Kind: Relaunch, Rank: rank,
-			FailedAt: failedAt, CompletedAt: abortedAt + delay,
+			// The launcher acts the moment it knows: at confirmation for an
+			// in-band detector, DetectDelay after the death otherwise.
+			FailedAt: f.FailedAt, DetectedAt: abortedAt, CompletedAt: abortedAt + delay,
 		})
 		s.launch(delay)
 	})

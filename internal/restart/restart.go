@@ -4,9 +4,17 @@
 // checkpoints; MPI state is rebuilt by paying the full job-launch cost,
 // which is why the paper measures Restart recovery as roughly an order of
 // magnitude slower than online recovery (16x Reinit, 2-3x ULFM on average).
+//
+// Failure detection goes through the shared internal/detect subsystem.
+// The preset is the Launcher strategy — the waitpid/SIGCHLD chain sees the
+// death instantly and the launcher reacts DetectDelay later. Under an
+// in-band detector (ring/tree) the launcher is notified at the detector's
+// confirmation instead, so detection latency and heartbeat interference
+// become measurable for this design too.
 package restart
 
 import (
+	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
 )
@@ -14,7 +22,9 @@ import (
 // Config is the job-launcher cost model.
 type Config struct {
 	// DetectDelay is the time for the launcher to notice a dead rank
-	// (waitpid on the orted/slurmstepd chain).
+	// (waitpid on the orted/slurmstepd chain). It applies only under the
+	// Launcher detection preset; an in-band detector replaces it with its
+	// own confirmation latency.
 	DetectDelay simnet.Time
 	// TeardownDelay covers killing surviving ranks and cleaning up.
 	TeardownDelay simnet.Time
@@ -26,6 +36,9 @@ type Config struct {
 	LaunchPerProc simnet.Time
 	// MaxRelaunches bounds restart loops (safety against repeated failure).
 	MaxRelaunches int
+	// Detect overrides the failure-detection strategy (ablation). The zero
+	// value keeps the instant launcher preset.
+	Detect detect.Config
 	// OnLaunch, when set, is invoked on every job incarnation right after
 	// launch (the harness uses it to install per-run job knobs).
 	OnLaunch func(*mpi.Job)
@@ -43,9 +56,14 @@ func DefaultConfig() Config {
 	}
 }
 
+// DetectPreset is Restart's detection model: the launcher's own SIGCHLD
+// chain, i.e. instant out-of-band detection.
+func (c Config) DetectPreset() detect.Config { return detect.LauncherConfig() }
+
 // Recovery records one job restart.
 type Recovery struct {
 	FailedAt    simnet.Time
+	DetectedAt  simnet.Time // when the detector confirmed the failure
 	AbortedAt   simnet.Time
 	RelaunchAt  simnet.Time // when the new job's ranks begin executing
 	FailedRanks []int
@@ -59,12 +77,16 @@ func (r Recovery) Duration() simnet.Time { return r.RelaunchAt - r.FailedAt }
 type Supervisor struct {
 	cluster *simnet.Cluster
 	cfg     Config
+	dcfg    detect.Config
 	n       int
 	nodes   []int
 	main    func(*mpi.Rank)
 
 	// Jobs lists every launched incarnation, newest last.
 	Jobs []*mpi.Job
+	// Detectors lists the per-incarnation failure detectors, parallel to
+	// Jobs (the harness sums their confirmed failures' latencies).
+	Detectors []detect.Detector
 	// Recoveries lists the restarts performed.
 	Recoveries []Recovery
 	// GaveUp is set when MaxRelaunches was exhausted.
@@ -77,7 +99,9 @@ type Supervisor struct {
 
 // Supervise launches an n-rank job running main under restart supervision
 // and returns the supervisor; drive the cluster's scheduler to completion
-// afterwards. Block placement mirrors mpi.Launch.
+// afterwards. Block placement mirrors mpi.Launch. An invalid explicit
+// detector configuration panics; validate with detect.Config.Validate
+// (core.Run does) before constructing.
 func Supervise(c *simnet.Cluster, cfg Config, n int, startDelay simnet.Time, main func(*mpi.Rank)) *Supervisor {
 	def := DefaultConfig()
 	if cfg.DetectDelay == 0 {
@@ -100,6 +124,7 @@ func Supervise(c *simnet.Cluster, cfg Config, n int, startDelay simnet.Time, mai
 		nodes[i] = i * c.NumNodes() / n
 	}
 	s := &Supervisor{cluster: c, cfg: cfg, n: n, nodes: nodes, main: main}
+	s.dcfg = detect.Resolve(cfg.Detect, cfg.DetectPreset())
 	s.launch(startDelay)
 	return s
 }
@@ -120,48 +145,55 @@ func (s *Supervisor) launch(delay simnet.Time) {
 	}
 	s.Jobs = append(s.Jobs, job)
 	for _, p := range job.World().Members() {
-		p := p
 		p.SimProc().OnExit(func(sp *simnet.Proc) {
-			s.onExit(job, p, sp)
+			if job == s.CurrentJob() && sp.Status() == simnet.ExitOK {
+				s.exitedOK++
+				if s.exitedOK == s.n {
+					s.done = true
+				}
+			}
 		})
 	}
+	det := detect.MustNew(s.dcfg, job, func(f detect.Failure) { s.onFailure(job, f) })
+	det.SetWorld(job.World())
+	s.Detectors = append(s.Detectors, det)
 }
 
-func (s *Supervisor) onExit(job *mpi.Job, p *mpi.Process, sp *simnet.Proc) {
-	if job != s.CurrentJob() {
-		return // stale incarnation
+// onFailure reacts to a confirmed rank failure: the launcher aborts the
+// job and redeploys it.
+func (s *Supervisor) onFailure(job *mpi.Job, f detect.Failure) {
+	if job != s.CurrentJob() || s.restarting || job.Aborted() {
+		return // stale incarnation, or kills caused by our own teardown
 	}
-	switch sp.Status() {
-	case simnet.ExitOK:
-		s.exitedOK++
-		if s.exitedOK == s.n {
-			s.done = true
+	s.restarting = true
+	// One failure dooms the incarnation; stop confirming the teardown kills
+	// that follow.
+	s.Detectors[len(s.Detectors)-1].Stop()
+	failedRank := job.World().RankOf(f.GID)
+	// Under the launcher preset the waitpid chain needs DetectDelay to act;
+	// an in-band detector has already paid its latency and notifies the
+	// launcher at confirmation.
+	delay := s.cfg.DetectDelay
+	if s.dcfg.Kind != detect.Launcher {
+		delay = 0
+	}
+	sched := s.cluster.Scheduler()
+	sched.After(delay, func() {
+		abortedAt := s.cluster.Now()
+		job.Abort()
+		if len(s.Recoveries) >= s.cfg.MaxRelaunches {
+			s.GaveUp = true
+			return
 		}
-	case simnet.ExitKilled:
-		if s.restarting || job.Aborted() {
-			return // kills caused by our own teardown
-		}
-		s.restarting = true
-		failedAt := sp.Now()
-		failedRank := job.World().RankOf(p.GID())
-		sched := s.cluster.Scheduler()
-		// The launcher notices, aborts the job, and redeploys.
-		sched.After(s.cfg.DetectDelay, func() {
-			abortedAt := s.cluster.Now()
-			job.Abort()
-			if len(s.Recoveries) >= s.cfg.MaxRelaunches {
-				s.GaveUp = true
-				return
-			}
-			relaunchDelay := s.cfg.TeardownDelay + s.cfg.LaunchBase +
-				simnet.Time(s.n)*s.cfg.LaunchPerProc
-			s.Recoveries = append(s.Recoveries, Recovery{
-				FailedAt:    failedAt,
-				AbortedAt:   abortedAt,
-				RelaunchAt:  abortedAt + relaunchDelay,
-				FailedRanks: []int{failedRank},
-			})
-			s.launch(relaunchDelay)
+		relaunchDelay := s.cfg.TeardownDelay + s.cfg.LaunchBase +
+			simnet.Time(s.n)*s.cfg.LaunchPerProc
+		s.Recoveries = append(s.Recoveries, Recovery{
+			FailedAt:    f.FailedAt,
+			DetectedAt:  f.DetectedAt,
+			AbortedAt:   abortedAt,
+			RelaunchAt:  abortedAt + relaunchDelay,
+			FailedRanks: []int{failedRank},
 		})
-	}
+		s.launch(relaunchDelay)
+	})
 }

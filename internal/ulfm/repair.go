@@ -123,12 +123,18 @@ func (rt *Runtime) RepairWorld(r *mpi.Rank, world *mpi.Comm) (*mpi.Comm, error) 
 	round, ok := rt.rounds[world.Ctx()]
 	if !ok {
 		round = &repairRound{}
-		// Record failure timing for the recovery-time breakdown.
+		// Record failure timing for the recovery-time breakdown, as the
+		// detector saw it: a confirmed failure carries its exact record; one
+		// still inside its observation window projects confirmation at the
+		// detector's timeout.
 		for _, fr := range world.FailedMembers() {
 			gid := world.Member(fr).GID()
-			if t, seen := rt.firstSeen[gid]; seen && (round.failedAt == 0 || t < round.failedAt) {
+			if f, seen := rt.det.FailureOf(gid); seen && (round.failedAt == 0 || f.FailedAt < round.failedAt) {
+				round.failedAt = f.FailedAt
+				round.detected = f.DetectedAt
+			} else if t, seen := rt.det.ObservedAt(gid); seen && (round.failedAt == 0 || t < round.failedAt) {
 				round.failedAt = t
-				round.detected = t + rt.cfg.DetectTimeout
+				round.detected = t + rt.det.Config().DetectTimeout
 			}
 		}
 		if round.failedAt == 0 {
@@ -187,5 +193,6 @@ func (rt *Runtime) RepairWorld(r *mpi.Rank, world *mpi.Comm) (*mpi.Comm, error) 
 		})
 	}
 	rt.world = nw
+	rt.det.SetWorld(nw) // heartbeat the repaired membership (replacements in, failed out)
 	return nw, nil
 }

@@ -1,8 +1,9 @@
 // Package ulfm implements User-Level Fault Mitigation (Bland et al.):
 // MPIX-style communicator revocation, shrink, replacement spawning,
 // intercommunicator merge, and fault-tolerant agreement, plus the runtime
-// side — a ring heartbeat failure detector (Bosilca et al.) and the
-// amended, failure-checking communication path.
+// side — failure detection via the shared internal/detect subsystem
+// (preset: the Bosilca-style ring heartbeat) and the amended,
+// failure-checking communication path.
 //
 // The package provides both the five ULFM primitives the paper describes
 // (CommRevoke, CommShrink, CommSpawn, IntercommMerge, CommAgree) and the
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
 )
@@ -47,6 +49,12 @@ type Config struct {
 	// InterferenceSteal is per-process CPU time stolen per heartbeat
 	// period by runtime-level detector collectives, scaled by log2(P).
 	InterferenceSteal simnet.Time
+
+	// Detect overrides the failure-detection strategy entirely (ablation:
+	// run ULFM recovery under a tree or instant launcher detector). The
+	// zero value keeps the calibrated ring preset assembled from the four
+	// heartbeat fields above.
+	Detect detect.Config
 
 	// RevokeHop is the per-tree-level cost of reliably flooding a revoke.
 	RevokeHop simnet.Time
@@ -84,6 +92,64 @@ func DefaultConfig() Config {
 	}
 }
 
+// fillDefaults replaces zero fields with the calibrated defaults.
+func (c *Config) fillDefaults() {
+	def := DefaultConfig()
+	if c.HeartbeatPeriod == 0 {
+		c.HeartbeatPeriod = def.HeartbeatPeriod
+	}
+	if c.HeartbeatBytes == 0 {
+		c.HeartbeatBytes = def.HeartbeatBytes
+	}
+	if c.DetectTimeout == 0 {
+		c.DetectTimeout = def.DetectTimeout
+	}
+	if c.PerOpOverhead == 0 {
+		c.PerOpOverhead = def.PerOpOverhead
+	}
+	if c.DeliveryFactor == 0 {
+		c.DeliveryFactor = def.DeliveryFactor
+	}
+	if c.InterferenceSteal == 0 {
+		c.InterferenceSteal = def.InterferenceSteal
+	}
+	if c.RevokeHop == 0 {
+		c.RevokeHop = def.RevokeHop
+	}
+	if c.ShrinkBase == 0 {
+		c.ShrinkBase = def.ShrinkBase
+	}
+	if c.ShrinkPerRank == 0 {
+		c.ShrinkPerRank = def.ShrinkPerRank
+	}
+	if c.AgreeRound == 0 {
+		c.AgreeRound = def.AgreeRound
+	}
+	if c.SpawnDelay == 0 {
+		c.SpawnDelay = def.SpawnDelay
+	}
+	if c.MergeBase == 0 {
+		c.MergeBase = def.MergeBase
+	}
+	if c.MergePerRank == 0 {
+		c.MergePerRank = def.MergePerRank
+	}
+}
+
+// DetectPreset is ULFM's calibrated detection model — the ring heartbeat —
+// expressed as a detect.Config, with zero heartbeat fields filled from the
+// calibrated defaults. core.Run resolves Config.Detect against this.
+func (c Config) DetectPreset() detect.Config {
+	c.fillDefaults()
+	return detect.Config{
+		Kind:              detect.Ring,
+		HeartbeatPeriod:   c.HeartbeatPeriod,
+		HeartbeatBytes:    c.HeartbeatBytes,
+		DetectTimeout:     c.DetectTimeout,
+		InterferenceSteal: c.InterferenceSteal,
+	}
+}
+
 // Recovery records one completed world repair.
 type Recovery struct {
 	FailedRanks []int
@@ -108,14 +174,13 @@ type repairRound struct {
 type Runtime struct {
 	job *mpi.Job
 	cfg Config
+	det detect.Detector
 	// entry runs a spawned replacement rank once the repaired world is
 	// ready; restarted is always true for replacements.
 	entry func(r *mpi.Rank, world *mpi.Comm, restarted bool) error
 
-	world     *mpi.Comm
-	rounds    map[int]*repairRound
-	firstSeen map[int]simnet.Time
-	stopped   bool
+	world  *mpi.Comm
+	rounds map[int]*repairRound
 
 	// Recoveries lists completed repairs.
 	Recoveries []Recovery
@@ -124,117 +189,39 @@ type Runtime struct {
 }
 
 // NewRuntime activates ULFM on the job: installs the amended-interface
-// overheads, starts the heartbeat detector, and returns the runtime.
-// entry is the resilient main executed by spawned replacement ranks.
+// overheads, starts the failure detector (cfg.Detect, preset: the ring
+// heartbeat), and returns the runtime. entry is the resilient main
+// executed by spawned replacement ranks. An invalid explicit detector
+// configuration panics; validate with detect.Config.Validate (core.Run
+// does) before constructing.
 func NewRuntime(job *mpi.Job, cfg Config, entry func(*mpi.Rank, *mpi.Comm, bool) error) *Runtime {
-	def := DefaultConfig()
-	if cfg.HeartbeatPeriod == 0 {
-		cfg.HeartbeatPeriod = def.HeartbeatPeriod
-	}
-	if cfg.HeartbeatBytes == 0 {
-		cfg.HeartbeatBytes = def.HeartbeatBytes
-	}
-	if cfg.DetectTimeout == 0 {
-		cfg.DetectTimeout = def.DetectTimeout
-	}
-	if cfg.PerOpOverhead == 0 {
-		cfg.PerOpOverhead = def.PerOpOverhead
-	}
-	if cfg.DeliveryFactor == 0 {
-		cfg.DeliveryFactor = def.DeliveryFactor
-	}
-	if cfg.InterferenceSteal == 0 {
-		cfg.InterferenceSteal = def.InterferenceSteal
-	}
-	if cfg.RevokeHop == 0 {
-		cfg.RevokeHop = def.RevokeHop
-	}
-	if cfg.ShrinkBase == 0 {
-		cfg.ShrinkBase = def.ShrinkBase
-	}
-	if cfg.ShrinkPerRank == 0 {
-		cfg.ShrinkPerRank = def.ShrinkPerRank
-	}
-	if cfg.AgreeRound == 0 {
-		cfg.AgreeRound = def.AgreeRound
-	}
-	if cfg.SpawnDelay == 0 {
-		cfg.SpawnDelay = def.SpawnDelay
-	}
-	if cfg.MergeBase == 0 {
-		cfg.MergeBase = def.MergeBase
-	}
-	if cfg.MergePerRank == 0 {
-		cfg.MergePerRank = def.MergePerRank
-	}
+	cfg.fillDefaults()
 	rt := &Runtime{
-		job:       job,
-		cfg:       cfg,
-		entry:     entry,
-		world:     job.World(),
-		rounds:    make(map[int]*repairRound),
-		firstSeen: make(map[int]simnet.Time),
+		job:    job,
+		cfg:    cfg,
+		entry:  entry,
+		world:  job.World(),
+		rounds: make(map[int]*repairRound),
 	}
 	job.PerOpOverhead = cfg.PerOpOverhead
 	job.DeliveryFactor = cfg.DeliveryFactor
-	job.Cluster().Scheduler().After(cfg.HeartbeatPeriod, rt.tick)
+	// Confirmed failures become globally known: blocked operations
+	// involving the process now raise MPIX_ERR_PROC_FAILED.
+	rt.det = detect.MustNew(detect.Resolve(cfg.Detect, cfg.DetectPreset()), job,
+		func(f detect.Failure) { job.MarkDetected(f.GID) })
+	rt.det.SetWorld(rt.world)
 	return rt
 }
 
 // World returns the current (possibly repaired) world communicator.
 func (rt *Runtime) World() *mpi.Comm { return rt.world }
 
+// Detector exposes the failure detector (the harness reads its confirmed
+// failures for the detection-latency breakdown).
+func (rt *Runtime) Detector() detect.Detector { return rt.det }
+
 // Stop halts the detector.
-func (rt *Runtime) Stop() { rt.stopped = true }
-
-// tick runs one heartbeat round: emit ring heartbeats (consuming NIC
-// time), steal detector-collective time from every rank, and flag peers
-// that have been silent past the timeout.
-func (rt *Runtime) tick() {
-	if rt.stopped {
-		return
-	}
-	cl := rt.job.Cluster()
-	now := cl.Now()
-	members := rt.world.Members()
-	steal := rt.interferencePerTick(len(members))
-	allExited := true
-	alive := rt.world.AliveMembers()
-	for i, p := range alive {
-		succ := alive[(i+1)%len(alive)]
-		// Ring heartbeat: consumes sender NIC bandwidth.
-		cl.SendArrival(p.NodeID(), succ.NodeID(), rt.cfg.HeartbeatBytes, now)
-		rt.job.Steal(p.GID(), steal)
-	}
-	for _, p := range members {
-		sp := p.SimProc()
-		if sp == nil || !sp.Exited() {
-			allExited = false
-		}
-		if !p.Failed() || rt.job.Detected(p.GID()) {
-			continue
-		}
-		gid := p.GID()
-		first, ok := rt.firstSeen[gid]
-		if !ok {
-			rt.firstSeen[gid] = now
-			first = now
-		}
-		if now-first >= rt.cfg.DetectTimeout {
-			// Failure confirmed: blocked operations involving this process
-			// now raise MPIX_ERR_PROC_FAILED.
-			rt.job.MarkDetected(gid)
-		}
-	}
-	if allExited {
-		return
-	}
-	cl.Scheduler().After(rt.cfg.HeartbeatPeriod, rt.tick)
-}
-
-func (rt *Runtime) interferencePerTick(p int) simnet.Time {
-	return rt.cfg.InterferenceSteal * simnet.Time(log2ceil(p))
-}
+func (rt *Runtime) Stop() { rt.det.Stop() }
 
 func log2ceil(n int) int {
 	if n <= 1 {

@@ -27,6 +27,7 @@ import (
 	"match/internal/apps/appkit"
 	"match/internal/core"
 	"match/internal/depanal"
+	"match/internal/detect"
 	"match/internal/fault"
 	"match/internal/replica"
 )
@@ -68,7 +69,40 @@ type (
 	CampaignOptions = core.CampaignOptions
 	// Crossover is the campaign-level Replica-vs-Reinit analysis.
 	Crossover = core.Crossover
+	// DetectorConfig selects and tunes the failure-detection strategy any
+	// design runs under (launcher / ring heartbeat / daemon tree); set it
+	// as Config.Detector, or sweep a list via CampaignOptions.Detectors.
+	DetectorConfig = detect.Config
+	// DetectorKind names a detection strategy.
+	DetectorKind = detect.Kind
+	// DetectionTradeoff is one point of the campaign-level detection
+	// latency vs steady-state interference curve.
+	DetectionTradeoff = core.DetectionTradeoff
 )
+
+// The detection strategies (Config.Detector.Kind). PresetDetector — the
+// zero value — keeps each design's calibrated default.
+const (
+	PresetDetector   = detect.Preset
+	LauncherDetector = detect.Launcher
+	RingDetector     = detect.Ring
+	TreeDetector     = detect.Tree
+)
+
+// ParseDetectorKind resolves a detector name ("launcher", "ring", "tree",
+// "preset") case-insensitively.
+func ParseDetectorKind(name string) (DetectorKind, error) { return detect.ParseKind(name) }
+
+// ComputeDetectionTradeoff derives the per-design detection-latency vs
+// interference curve from campaign results that swept the detection axis.
+func ComputeDetectionTradeoff(results []Result) []DetectionTradeoff {
+	return core.ComputeDetectionTradeoff(results)
+}
+
+// WriteDetectionTradeoff renders the detection-vs-interference curve.
+func WriteDetectionTradeoff(w io.Writer, rows []DetectionTradeoff) {
+	core.WriteDetectionTradeoff(w, rows)
+}
 
 // The four fault-tolerance designs.
 const (
