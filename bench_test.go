@@ -15,6 +15,7 @@ import (
 	"os"
 	"testing"
 
+	"match/internal/ckpt"
 	"match/internal/core"
 	"match/internal/fti"
 	"match/internal/mpi"
@@ -153,6 +154,30 @@ func BenchmarkAblationCkptStride(b *testing.B) {
 				}
 				b.ReportMetric(bd.Total.Seconds(), "total_s")
 				b.ReportMetric(bd.Ckpt.Seconds(), "ckpt_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCkptPolicy compares the checkpoint-placement policies
+// on the replica design, where placement interacts with replication: the
+// replica-aware policy trades checkpoint spend against fallback exposure.
+func BenchmarkAblationCkptPolicy(b *testing.B) {
+	for _, kind := range []ckpt.Kind{ckpt.Fixed, ckpt.MultiLevel, ckpt.ReplicaAware, ckpt.Adaptive} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bd, err := core.Run(core.Config{
+					App: "HPCCG", Design: core.ReplicaFTI, Procs: 64,
+					Input: core.Small, CkptPolicy: ckpt.Config{Kind: kind},
+					InjectFault: true, FaultSeed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(bd.Total.Seconds(), "total_s")
+				b.ReportMetric(bd.Ckpt.Seconds(), "ckpt_s")
+				b.ReportMetric(float64(bd.CkptAvoided), "ckpt_avoided")
 			}
 		})
 	}

@@ -8,6 +8,8 @@
 //	match -design ulfm -faults 3                      # multi-failure campaign
 //	match -fault-schedule "3@40,3@55:after=1"         # explicit schedule
 //	match -design replica -fault -detector ring -hb-period 50ms   # in-band detection
+//	match -ckpt-policy multi-level -ckpt-l2-every 3 -ckpt-l4-every 10
+//	match -design replica -fault -ckpt-policy replica-aware       # stretch while protected
 //	match -list-designs
 package main
 
@@ -17,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"match/internal/ckpt"
 	"match/internal/core"
 	"match/internal/detect"
 	"match/internal/fault"
@@ -42,6 +45,12 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions to average (the paper used 5)")
 	dupDegree := flag.Int("dup-degree", 0, "replica design: replicas per protected rank (default 2)")
 	replicaFactor := flag.Float64("replica-factor", 0, "replica design: fraction of ranks replicated (default 1; <1 = partial replication)")
+	ckptPolicy := flag.String("ckpt-policy", "fixed", "checkpoint-placement policy: fixed, multi-level, replica-aware, adaptive, never")
+	ckptL2 := flag.Int("ckpt-l2-every", 0, "multi-level placement: escalate every Nth checkpoint to L2 (0 = policy default)")
+	ckptL3 := flag.Int("ckpt-l3-every", 0, "multi-level placement: escalate every Nth checkpoint to L3 (0 = off)")
+	ckptL4 := flag.Int("ckpt-l4-every", 0, "multi-level placement: escalate every Nth checkpoint to L4 (0 = policy default)")
+	ckptStretch := flag.Int("ckpt-stretch", 0, "replica-aware placement: stride multiplier while every rank is replica-protected (0 = default 4)")
+	ckptSkip := flag.Bool("ckpt-skip-protected", false, "replica-aware placement: skip checkpoints entirely (not just stretch) while protected")
 	detector := flag.String("detector", "preset", "failure-detection strategy: preset, launcher, ring, tree")
 	hbPeriod := flag.Duration("hb-period", 0, "ring/tree detector: heartbeat/supervision period (0 = strategy default)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "ring/tree detector: observation timeout before a silent peer is declared dead (0 = 3x period)")
@@ -58,6 +67,10 @@ func main() {
 	}
 	if *level < 1 || *level > 4 {
 		fmt.Fprintf(os.Stderr, "-level %d invalid (FTI checkpoint levels are 1-4: L1 local, L2 partner copy, L3 Reed-Solomon, L4 PFS)\n", *level)
+		os.Exit(2)
+	}
+	if *stride < 1 {
+		fmt.Fprintf(os.Stderr, "-stride %d invalid (want >= 1; use -ckpt-policy never to disable checkpointing)\n", *stride)
 		os.Exit(2)
 	}
 	if *faults < 0 {
@@ -85,6 +98,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-hb-period/-hb-timeout/-hb-bytes only apply to -detector ring or tree (got %s)\n", dkind)
 		os.Exit(2)
 	}
+	pkind, err := ckpt.ParseKind(*ckptPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pcfg := ckpt.Config{
+		Kind:          pkind,
+		L2Every:       *ckptL2,
+		L3Every:       *ckptL3,
+		L4Every:       *ckptL4,
+		Stretch:       *ckptStretch,
+		SkipProtected: *ckptSkip,
+	}
+	// ckpt.Validate is the authoritative rule set (knob/policy pairing,
+	// negative interleaves, bad stretch, ...); applying it at flag-parse
+	// time gives a clean usage error instead of a mid-run failure.
+	if err := ckpt.Resolve(pcfg, *stride).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := core.Config{
 		App:         *app,
@@ -95,6 +128,7 @@ func main() {
 		FaultSeed:   *seed,
 		FTILevel:    fti.Level(*level),
 		CkptStride:  *stride,
+		CkptPolicy:  pcfg,
 		Replica: replica.Config{
 			DupDegree:     *dupDegree,
 			ReplicaFactor: *replicaFactor,
@@ -143,7 +177,20 @@ func main() {
 	fmt.Printf("%s / %s / %d procs on %d nodes / %s input / faults=%d (avg of %d)\n",
 		cfg.App, cfg.Design, cfg.Procs, cfg.Nodes, cfg.Input, cfg.FaultCount(), *reps)
 	fmt.Printf("  application     %10.3f s\n", bd.App.Seconds())
-	fmt.Printf("  write ckpts     %10.3f s  (%d checkpoints)\n", bd.Ckpt.Seconds(), bd.CkptCount)
+	// Label with the placement the run actually used, splitting the count
+	// by level when the policy escalated any checkpoint past the base.
+	resolvedPol, _ := core.ResolvedCkptPolicy(cfg) // Run already validated it
+	levels := ""
+	for l := 1; l <= 4; l++ {
+		if n := bd.CkptCountAt[l]; n > 0 && n != bd.CkptCount {
+			levels += fmt.Sprintf(" L%d=%d", l, n)
+		}
+	}
+	if levels != "" {
+		levels = ";" + levels
+	}
+	fmt.Printf("  write ckpts     %10.3f s  (%d checkpoints%s; placement %s, %d avoided)\n",
+		bd.Ckpt.Seconds(), bd.CkptCount, levels, resolvedPol, bd.CkptAvoided)
 	fmt.Printf("  recovery        %10.3f s  (%d recoveries, %d faults fired)\n",
 		bd.Recovery.Seconds(), bd.Recoveries, bd.FaultsInjected)
 	// Label with the strategy the run actually used (a default run's

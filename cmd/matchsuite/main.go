@@ -12,6 +12,8 @@
 //	matchsuite -csv out.csv -fig 5   # raw series for plotting
 //	matchsuite -campaign -max-faults 3 -j 8   # multi-failure sweep, k=0..3
 //	matchsuite -campaign -detector ring -hb-period 50ms,150ms   # detection-axis sweep
+//	matchsuite -campaign -ckpt-policy fixed,replica-aware,adaptive   # placement-axis sweep
+//	matchsuite -replica-sweep 0,0.25,0.5,1.0   # PartRePer overhead-vs-ReplicaFactor curve
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"match/internal/ckpt"
 	"match/internal/core"
 	"match/internal/detect"
 	"match/internal/simnet"
@@ -45,6 +48,13 @@ func main() {
 	detector := flag.String("detector", "preset", "failure-detection strategy for every run: preset, launcher, ring, tree")
 	hbPeriods := flag.String("hb-period", "", "detector heartbeat period(s); campaign mode sweeps a comma-separated list (e.g. 50ms,150ms)")
 	hbTimeout := flag.Duration("hb-timeout", 0, "detector observation timeout (0 = 3x period)")
+	ckptPolicies := flag.String("ckpt-policy", "", "checkpoint-placement policy for every run (fixed, multi-level, replica-aware, adaptive, never); campaign mode sweeps a comma-separated list")
+	ckptL2 := flag.Int("ckpt-l2-every", 0, "multi-level placement: escalate every Nth checkpoint to L2 (0 = policy default)")
+	ckptL3 := flag.Int("ckpt-l3-every", 0, "multi-level placement: escalate every Nth checkpoint to L3 (0 = off)")
+	ckptL4 := flag.Int("ckpt-l4-every", 0, "multi-level placement: escalate every Nth checkpoint to L4 (0 = policy default)")
+	ckptStretch := flag.Int("ckpt-stretch", 0, "replica-aware placement: stride multiplier while every rank is replica-protected (0 = default 4)")
+	ckptSkip := flag.Bool("ckpt-skip-protected", false, "replica-aware placement: skip checkpoints entirely while protected")
+	replicaSweep := flag.String("replica-sweep", "", "campaign the replica design over these ReplicaFactors (e.g. 0,0.25,0.5,1.0; 0 = replication off) and print the combined overhead-vs-ReplicaFactor curve")
 	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
 	flag.Parse()
 
@@ -52,9 +62,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-max-faults %d invalid (want >= 0; 0 runs the failure-free baseline only)\n", *maxFaults)
 		os.Exit(2)
 	}
+	// A ReplicaFactor sweep is a campaign over the replication axis.
+	var factors []float64
+	if *replicaSweep != "" {
+		for _, s := range strings.Split(*replicaSweep, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			// The negated comparison also rejects NaN, which would sail
+			// through "f < 0 || f > 1".
+			if err != nil || !(f >= 0 && f <= 1) {
+				fmt.Fprintf(os.Stderr, "bad -replica-sweep entry %q (want factors in [0,1])\n", s)
+				os.Exit(2)
+			}
+			factors = append(factors, f)
+		}
+		*campaign = true
+	}
 	if *campaign {
 		if *fig != 0 || *all || *ratios || *verify || *list {
-			fmt.Fprintln(os.Stderr, "-campaign is exclusive with -fig/-all/-ratios/-verify/-list")
+			fmt.Fprintln(os.Stderr, "-campaign/-replica-sweep are exclusive with -fig/-all/-ratios/-verify/-list")
 			os.Exit(2)
 		}
 		if *scalesFlag != "" {
@@ -112,9 +137,60 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The placement sweep list: one config per named policy.
+	var policies []ckpt.Config
+	if *ckptPolicies != "" {
+		for _, s := range strings.Split(*ckptPolicies, ",") {
+			kind, err := ckpt.ParseKind(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			pc := ckpt.Config{Kind: kind}
+			if kind == ckpt.MultiLevel {
+				pc.L2Every, pc.L3Every, pc.L4Every = *ckptL2, *ckptL3, *ckptL4
+			}
+			if kind == ckpt.ReplicaAware {
+				pc.Stretch, pc.SkipProtected = *ckptStretch, *ckptSkip
+			}
+			// Resolve now so tables and CSV label the sweep with the actual
+			// derived values (stride, default escalation periods), and
+			// validate at flag-parse time with the authoritative rule set.
+			pc = ckpt.Resolve(pc, 0)
+			if err := pc.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			policies = append(policies, pc)
+		}
+	}
+	hasKind := func(k ckpt.Kind) bool {
+		for _, p := range policies {
+			if p.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	if (*ckptL2 != 0 || *ckptL3 != 0 || *ckptL4 != 0) && !hasKind(ckpt.MultiLevel) {
+		fmt.Fprintln(os.Stderr, "-ckpt-l2/l3/l4-every only apply with -ckpt-policy multi-level")
+		os.Exit(2)
+	}
+	if (*ckptStretch != 0 || *ckptSkip) && !hasKind(ckpt.ReplicaAware) {
+		fmt.Fprintln(os.Stderr, "-ckpt-stretch/-ckpt-skip-protected only apply with -ckpt-policy replica-aware")
+		os.Exit(2)
+	}
+	if len(policies) > 1 && !*campaign {
+		fmt.Fprintln(os.Stderr, "multiple -ckpt-policy values sweep the placement axis; that needs -campaign")
+		os.Exit(2)
+	}
+
 	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers, ModelIngress: *modelIngress}
 	if len(detectors) == 1 {
 		opts.Detector = detectors[0]
+	}
+	if len(policies) == 1 {
+		opts.CkptPolicy = policies[0]
 	}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
@@ -135,14 +211,16 @@ func main() {
 		core.WriteTableI(os.Stdout)
 	case *campaign:
 		copts := core.CampaignOptions{
-			Apps:         opts.Apps,
-			Procs:        *procs,
-			MaxFaults:    *maxFaults,
-			Reps:         *reps,
-			Seed:         *seed,
-			Workers:      *workers,
-			Detectors:    detectors,
-			ModelIngress: *modelIngress,
+			Apps:           opts.Apps,
+			Procs:          *procs,
+			MaxFaults:      *maxFaults,
+			Reps:           *reps,
+			Seed:           *seed,
+			Workers:        *workers,
+			Detectors:      detectors,
+			Policies:       policies,
+			ReplicaFactors: factors,
+			ModelIngress:   *modelIngress,
 		}
 		results, err := core.RunCampaign(copts, os.Stdout)
 		if err != nil {
@@ -152,7 +230,11 @@ func main() {
 		if len(detectors) > 0 {
 			core.WriteDetectionTradeoff(os.Stdout, core.ComputeDetectionTradeoff(results))
 		}
-		core.ComputeCrossover(results).Write(os.Stdout)
+		if len(factors) > 0 {
+			core.WriteReplicaTradeoff(os.Stdout, core.ComputeReplicaTradeoff(results))
+		} else {
+			core.ComputeCrossover(results).Write(os.Stdout)
+		}
 		writeCSV(*csvPath, results)
 	case *verify:
 		if err := runVerify(opts); err != nil {

@@ -8,6 +8,7 @@ package appkit
 import (
 	"fmt"
 
+	"match/internal/ckpt"
 	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/mpi"
@@ -25,7 +26,9 @@ type Params struct {
 	NVerts int
 	// MaxIter is the main-loop trip count.
 	MaxIter int
-	// CkptStride checkpoints every this many iterations (paper: 10).
+	// CkptStride is the base checkpoint period in iterations (paper: 10).
+	// It only takes effect when the Context carries no placement policy:
+	// RunMainLoop then installs a fixed-stride policy over it.
 	CkptStride int
 	// WorkScale converts one abstract work unit (roughly a flop) into
 	// virtual nanoseconds; it encodes the documented scale-down factor.
@@ -41,6 +44,10 @@ type Context struct {
 	FTI    *fti.FTI
 	Inject *fault.Injector
 	Params Params
+	// Ckpt decides checkpoint placement for the main loop. The harness
+	// installs the per-incarnation policy of the run's placement planner;
+	// nil falls back to a fixed-stride policy over Params.CkptStride.
+	Ckpt ckpt.Policy
 }
 
 // Rank returns this rank's index in the world.
@@ -74,10 +81,13 @@ type App interface {
 //
 //	FTI_Protect(...)            (app.Init)
 //	if FTI_Status() != 0: FTI_Recover()
-//	loop: inject; checkpoint every stride; compute step
+//	loop: inject; consult the placement policy; checkpoint; compute step
 //
-// It returns the application's signature. All three fault-tolerance
-// designs call this; only what surrounds it differs.
+// It returns the application's signature. All four fault-tolerance
+// designs call this; only what surrounds it differs. Checkpoint placement
+// comes entirely from the Context's ckpt.Policy — the loop itself holds
+// no stride arithmetic — and the measured checkpoint/step durations are
+// fed back to the policy for adaptive interval selection.
 func RunMainLoop(ctx *Context, app App) (float64, error) {
 	if err := app.Init(ctx); err != nil {
 		return 0, fmt.Errorf("%s init: %w", app.Name(), err)
@@ -89,20 +99,24 @@ func RunMainLoop(ctx *Context, app App) (float64, error) {
 			return 0, fmt.Errorf("%s recover: %w", app.Name(), err)
 		}
 	}
-	stride := ctx.Params.CkptStride
-	if stride <= 0 {
-		stride = 10
+	pol := ctx.Ckpt
+	if pol == nil {
+		pol = ckpt.FixedPolicy(ctx.Params.CkptStride)
 	}
 	for ; iter < ctx.Params.MaxIter; iter++ {
 		ctx.Inject.MaybeFail(ctx.R, ctx.World, iter)
-		if iter%stride == 0 {
-			if err := ctx.FTI.Checkpoint(int64(iter)); err != nil {
+		if d := pol.Next(ckpt.State{Iter: iter}); d.Take {
+			start := ctx.R.Now()
+			if err := ctx.FTI.CheckpointAt(int64(iter), d.Level); err != nil {
 				return 0, err
 			}
+			pol.Observe(ckpt.ObsCkpt, ctx.R.Now()-start)
 		}
+		start := ctx.R.Now()
 		if err := app.Step(ctx, iter); err != nil {
 			return 0, err
 		}
+		pol.Observe(ckpt.ObsStep, ctx.R.Now()-start)
 	}
 	sig, err := app.Signature(ctx)
 	if err != nil {

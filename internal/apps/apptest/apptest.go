@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"match/internal/apps/appkit"
+	"match/internal/ckpt"
 	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/mpi"
@@ -28,11 +29,15 @@ func Run(t *testing.T, n int, params appkit.Params, factory func() appkit.App) R
 	if params.WorkScale == 0 {
 		params.WorkScale = 1
 	}
-	if params.CkptStride == 0 {
-		params.CkptStride = 1 << 30 // effectively never, unless the test wants it
-	}
 	if params.Seed == 0 {
 		params.Seed = 42
+	}
+	// App tests exercise physics, not checkpointing: placement is off
+	// unless the test asked for a stride. One policy instance is shared by
+	// all ranks, as the harness does.
+	pol := ckpt.NeverPolicy()
+	if params.CkptStride > 0 {
+		pol = ckpt.FixedPolicy(params.CkptStride)
 	}
 	c := simnet.NewCluster(simnet.Config{Nodes: 4})
 	c.Scheduler().SetDeadline(3600 * simnet.Second)
@@ -47,7 +52,7 @@ func Run(t *testing.T, n int, params appkit.Params, factory func() appkit.App) R
 			return
 		}
 		app := factory()
-		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params}
+		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params, Ckpt: pol}
 		sig, err := appkit.RunMainLoop(ctx, app)
 		if err != nil {
 			t.Errorf("rank %d: %v", r.Rank(world), err)

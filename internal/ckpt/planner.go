@@ -1,0 +1,231 @@
+package ckpt
+
+import (
+	"math"
+
+	"match/internal/fti"
+	"match/internal/simnet"
+)
+
+// Planner owns checkpoint placement for one benchmark run. It is shared by
+// every rank across every job incarnation (like the fault injector): each
+// incarnation acquires its policy through Policy(), which re-arms — and,
+// for the adaptive strategy, recomputes the interval from the costs
+// observed so far — whenever the run's recovery count has advanced since
+// the previous acquisition. The harness reads the avoided-checkpoint
+// counter and the per-incarnation stride history back out for reporting.
+type Planner struct {
+	cfg     Config
+	maxIter int
+	faults  int
+
+	// Epoch reports the completed recovery count — the incarnation marker
+	// policies re-arm on. The harness points it at the active design's
+	// recovery log (the same feed the fault injector uses); nil pins a
+	// single incarnation.
+	Epoch func() int
+	// Degree reports the minimum live replica-group degree across logical
+	// ranks — the replica-aware policy's protection signal. The replica
+	// runtime feeds it; nil means unreplicated (degree 1), under which
+	// replica-aware placement degenerates to the base stride.
+	Degree func() int
+
+	pol      *policy
+	polEpoch int
+	avoided  int
+	strides  []int
+
+	ckptN, stepN     int64
+	ckptSum, stepSum simnet.Time
+}
+
+// NewPlanner validates a resolved configuration and returns the planner
+// for one run of maxIter iterations with faults scheduled failures.
+func NewPlanner(cfg Config, maxIter, faults int) (*Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{cfg: cfg, maxIter: maxIter, faults: faults}, nil
+}
+
+// Config returns the resolved configuration in use.
+func (pl *Planner) Config() Config { return pl.cfg }
+
+// Policy returns the placement policy for the current incarnation,
+// re-arming (and recomputing the adaptive interval) when the epoch has
+// advanced since the last acquisition. Every rank of an incarnation gets
+// the same instance, which is what keeps decisions collective-safe.
+func (pl *Planner) Policy() Policy {
+	e := 0
+	if pl.Epoch != nil {
+		e = pl.Epoch()
+	}
+	if pl.pol == nil || e != pl.polEpoch {
+		pl.polEpoch = e
+		pl.pol = pl.build()
+		pl.strides = append(pl.strides, pl.pol.stride)
+	}
+	return pl.pol
+}
+
+// Avoided counts the placement points where the base fixed-stride policy
+// would have checkpointed but the active policy skipped — the checkpoints
+// replication (or a longer adaptive interval) saved. Counted once per
+// decided iteration, accumulated across incarnations.
+func (pl *Planner) Avoided() int { return pl.avoided }
+
+// Strides lists the effective base stride of every incarnation so far
+// (diagnostics; the adaptive-recomputation tests read it).
+func (pl *Planner) Strides() []int { return append([]int(nil), pl.strides...) }
+
+func (pl *Planner) degree() int {
+	if pl.Degree == nil {
+		return 1
+	}
+	return pl.Degree()
+}
+
+func (pl *Planner) observe(what Obs, cost simnet.Time) {
+	switch what {
+	case ObsCkpt:
+		pl.ckptN++
+		pl.ckptSum += cost
+	case ObsStep:
+		pl.stepN++
+		pl.stepSum += cost
+	}
+}
+
+// adaptiveStride is the Young–Daly interval in iteration units:
+// sqrt(2 * C * M), with the checkpoint cost C measured in steps
+// (mean checkpoint duration over mean step duration) and the mean time
+// between failures M taken from the fault schedule's density over the
+// main loop. With nothing scheduled to fail the optimum degenerates to
+// "never pay": one checkpoint at iteration 0. Before any costs have been
+// measured (the first incarnation) the base stride stands in.
+func (pl *Planner) adaptiveStride() int {
+	if pl.faults <= 0 {
+		return pl.maxIter
+	}
+	if pl.ckptN == 0 || pl.stepN == 0 || pl.stepSum == 0 {
+		return pl.cfg.Stride
+	}
+	c := float64(pl.ckptSum) / float64(pl.ckptN) / (float64(pl.stepSum) / float64(pl.stepN))
+	m := float64(pl.maxIter) / float64(pl.faults)
+	s := int(math.Round(math.Sqrt(2 * c * m)))
+	if s < 1 {
+		s = 1
+	}
+	if s > pl.maxIter {
+		s = pl.maxIter
+	}
+	return s
+}
+
+// build constructs the policy for the incarnation that is starting.
+func (pl *Planner) build() *policy {
+	p := &policy{pl: pl, memo: make(map[int]Decision), stride: pl.cfg.Stride}
+	switch pl.cfg.Kind {
+	case Never:
+		p.stride = 0
+		p.decide = func(int) Decision { return Decision{} }
+	case Fixed:
+		p.decide = func(iter int) Decision { return every(iter, pl.cfg.Stride) }
+	case MultiLevel:
+		p.decide = func(iter int) Decision {
+			d := every(iter, pl.cfg.Stride)
+			if !d.Take {
+				return d
+			}
+			// 1-based index of the checkpoint about to be taken this
+			// incarnation; the highest due escalation wins.
+			n := p.taken + 1
+			switch {
+			case pl.cfg.L4Every > 0 && n%pl.cfg.L4Every == 0:
+				d.Level = fti.L4
+			case pl.cfg.L3Every > 0 && n%pl.cfg.L3Every == 0:
+				d.Level = fti.L3
+			case pl.cfg.L2Every > 0 && n%pl.cfg.L2Every == 0:
+				d.Level = fti.L2
+			}
+			return d
+		}
+	case ReplicaAware:
+		p.decide = func(iter int) Decision {
+			if pl.degree() >= 2 {
+				// Every rank's state survives a process failure: replication
+				// recovers without rollback, so checkpoints are (mostly)
+				// redundant here.
+				if pl.cfg.SkipProtected {
+					return Decision{}
+				}
+				return every(iter, pl.cfg.Stride*pl.cfg.Stretch)
+			}
+			// A group degraded to degree 1 (or partial replication left
+			// some rank unprotected): re-arm to the base stride.
+			return every(iter, pl.cfg.Stride)
+		}
+	case Adaptive:
+		stride := pl.adaptiveStride()
+		p.stride = stride
+		p.decide = func(iter int) Decision { return every(iter, stride) }
+	}
+	return p
+}
+
+func every(iter, stride int) Decision {
+	return Decision{Take: stride > 0 && iter%stride == 0}
+}
+
+// policy is the shared implementation of every strategy: a per-iteration
+// decision memo around a strategy-specific decide function.
+type policy struct {
+	pl     *Planner
+	memo   map[int]Decision
+	decide func(iter int) Decision
+	taken  int
+	stride int // effective base stride this incarnation (0 = never)
+}
+
+func (p *policy) Kind() Kind { return p.pl.cfg.Kind }
+
+func (p *policy) Next(s State) Decision {
+	if d, ok := p.memo[s.Iter]; ok {
+		return d
+	}
+	d := p.decide(s.Iter)
+	if d.Take {
+		p.taken++
+	} else if p.pl.cfg.Stride > 0 && s.Iter%p.pl.cfg.Stride == 0 {
+		p.pl.avoided++
+	}
+	p.memo[s.Iter] = d
+	return d
+}
+
+func (p *policy) Observe(what Obs, cost simnet.Time) { p.pl.observe(what, cost) }
+
+// FixedPolicy is a standalone stride-N policy at the run's configured
+// level — the fallback the shared main loop installs when a Context was
+// built without a planner (custom harnesses, app tests). A stride < 1
+// keeps the historical default of 10.
+func FixedPolicy(stride int) Policy {
+	if stride < 1 {
+		stride = 10
+	}
+	pl, err := NewPlanner(Config{Kind: Fixed, Stride: stride}, 0, 0)
+	if err != nil {
+		panic(err) // unreachable: the config is valid by construction
+	}
+	return pl.Policy()
+}
+
+// NeverPolicy takes no checkpoints — the explicit spelling of what tests
+// used to fake with an astronomically large stride.
+func NeverPolicy() Policy {
+	pl, err := NewPlanner(Config{Kind: Never}, 0, 0)
+	if err != nil {
+		panic(err) // unreachable: the config is valid by construction
+	}
+	return pl.Policy()
+}

@@ -5,7 +5,9 @@ import (
 	"io"
 	"sort"
 
+	"match/internal/ckpt"
 	"match/internal/detect"
+	"match/internal/replica"
 )
 
 // CampaignOptions shapes a multi-failure sweep: for every app and design,
@@ -33,6 +35,17 @@ type CampaignOptions struct {
 	// where a failure lands inside the previous failure's detection
 	// window, which only exists under in-band detection.
 	Detectors []detect.Config
+	// Policies adds the checkpoint-placement axis: every entry multiplies
+	// the campaign matrix, running each cell under that placement policy.
+	// Empty keeps fixed-stride placement.
+	Policies []ckpt.Config
+	// ReplicaFactors adds the replication axis (the ROADMAP's PartRePer
+	// trade-off figure): every entry runs the matrix at that fraction of
+	// replicated ranks, with 0 meaning replication off (dup-degree 1).
+	// Setting it restricts Designs to the replica design — the factor
+	// means nothing elsewhere — and the results feed
+	// ComputeReplicaTradeoff's combined overhead-vs-ReplicaFactor curve.
+	ReplicaFactors []float64
 	// ModelIngress switches receiver-NIC serialization on for every run.
 	ModelIngress bool
 	// Workers bounds the sweep worker pool; 0 means GOMAXPROCS. Campaign
@@ -63,6 +76,12 @@ func (o *CampaignOptions) fill() {
 	if len(o.Detectors) == 0 {
 		o.Detectors = []detect.Config{{}} // per-design preset
 	}
+	if len(o.Policies) == 0 {
+		o.Policies = []ckpt.Config{{}} // fixed-stride placement
+	}
+	if len(o.ReplicaFactors) > 0 {
+		o.Designs = []Design{ReplicaFTI}
+	}
 }
 
 // CampaignConfigs enumerates the campaign run matrix: app x k x design,
@@ -71,27 +90,65 @@ func (o *CampaignOptions) fill() {
 // the calibrated Figure 6/9 numbers verbatim.
 func CampaignConfigs(opts CampaignOptions) []Config {
 	opts.fill()
+	factors := opts.ReplicaFactors
+	if len(factors) == 0 {
+		factors = []float64{-1} // sentinel: leave Config.Replica alone
+	}
 	var out []Config
 	for _, app := range opts.Apps {
 		for _, dc := range opts.Detectors {
-			for k := 0; k <= opts.MaxFaults; k++ {
-				for _, d := range opts.Designs {
-					out = append(out, Config{
-						App:          app,
-						Design:       d,
-						Procs:        opts.Procs,
-						Input:        opts.Input,
-						InjectFault:  k > 0,
-						Faults:       k,
-						FaultSeed:    opts.Seed,
-						Detector:     dc,
-						ModelIngress: opts.ModelIngress,
-					})
+			for _, pc := range opts.Policies {
+				for _, rf := range factors {
+					for k := 0; k <= opts.MaxFaults; k++ {
+						for _, d := range opts.Designs {
+							cfg := Config{
+								App:          app,
+								Design:       d,
+								Procs:        opts.Procs,
+								Input:        opts.Input,
+								InjectFault:  k > 0,
+								Faults:       k,
+								FaultSeed:    opts.Seed,
+								Detector:     dc,
+								CkptPolicy:   pc,
+								ModelIngress: opts.ModelIngress,
+							}
+							if rf >= 0 {
+								cfg.Replica = replicaConfigFor(rf)
+							}
+							out = append(out, cfg)
+						}
+					}
 				}
 			}
 		}
 	}
 	return out
+}
+
+// replicaConfigFor encodes a swept ReplicaFactor: 0 turns replication off
+// entirely (an explicit dup-degree of 1 — the unprotected baseline of the
+// PartRePer curve), anything else selects that fraction of replicated
+// ranks at the default degree.
+func replicaConfigFor(factor float64) replica.Config {
+	if factor == 0 {
+		return replica.Config{DupDegree: 1}
+	}
+	return replica.Config{ReplicaFactor: factor}
+}
+
+// ReplicaFactorOf reports the effective replication fraction of a
+// configuration: 0 for the unreplicated designs and for a replica run
+// forced to dup-degree 1, the configured factor (default 1, full
+// replication) otherwise.
+func ReplicaFactorOf(c Config) float64 {
+	if c.Design != ReplicaFTI || c.Replica.DupDegree == 1 {
+		return 0
+	}
+	if f := c.Replica.ReplicaFactor; f > 0 && f <= 1 {
+		return f
+	}
+	return 1
 }
 
 // RunCampaign executes the campaign matrix on the sweep worker pool,
@@ -108,16 +165,17 @@ func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
 }
 
 // WriteCampaign renders campaign results: one block per application, one
-// row per (failure count, design) — and per detector, when the campaign
-// sweeps the detection axis — with the execution-time breakdown and the
-// total overhead relative to that design's own failure-free (k=0)
-// campaign cell under the same detector.
+// row per (failure count, design) — and per detector, placement policy,
+// or replica factor, when the campaign sweeps those axes — with the
+// execution-time breakdown and the total overhead relative to that
+// design's own failure-free (k=0) campaign cell under the same detector,
+// policy, and factor.
 func WriteCampaign(w io.Writer, results []Result) {
 	fmt.Fprintln(w, "== Multi-failure campaign: recovery time and total overhead vs failure count ==")
 	byApp := map[string][]Result{}
 	var apps []string
 	base := map[string]baseTotal{}
-	detectorSweep := false
+	detectorSweep, policySweep, factorSweep := false, false, false
 	for _, r := range results {
 		if _, ok := byApp[r.Config.App]; !ok {
 			apps = append(apps, r.Config.App)
@@ -128,6 +186,12 @@ func WriteCampaign(w io.Writer, results []Result) {
 		}
 		if r.Config.Detector.Kind != detect.Preset {
 			detectorSweep = true
+		}
+		if r.Config.CkptPolicy != (ckpt.Config{}) {
+			policySweep = true
+		}
+		if r.Config.Design == ReplicaFTI && ReplicaFactorOf(r.Config) != 1 {
+			factorSweep = true
 		}
 	}
 	sort.Strings(apps)
@@ -140,16 +204,30 @@ func WriteCampaign(w io.Writer, results []Result) {
 			if a, b := rs[i].Config.Design, rs[j].Config.Design; a != b {
 				return a < b
 			}
+			if a, b := ReplicaFactorOf(rs[i].Config), ReplicaFactorOf(rs[j].Config); a != b {
+				return a < b
+			}
+			if a, b := rs[i].Config.CkptPolicy.String(), rs[j].Config.CkptPolicy.String(); a != b {
+				return a < b
+			}
 			return rs[i].Config.Detector.String() < rs[j].Config.Detector.String()
 		})
 		fmt.Fprintf(w, "\n-- %s --\n", app)
+		fmt.Fprintf(w, "%-8s %-12s", "faults", "design")
 		if detectorSweep {
-			fmt.Fprintf(w, "%-8s %-12s %-22s %10s %12s %10s %12s %12s %12s\n",
-				"faults", "design", "detector", "recovered", "recovery(s)", "detect(s)", "total(s)", "overhead(s)", "overhead(%)")
-		} else {
-			fmt.Fprintf(w, "%-8s %-12s %10s %12s %12s %12s %12s\n",
-				"faults", "design", "recovered", "recovery(s)", "total(s)", "overhead(s)", "overhead(%)")
+			fmt.Fprintf(w, " %-22s", "detector")
 		}
+		if policySweep {
+			fmt.Fprintf(w, " %-24s", "placement")
+		}
+		if factorSweep {
+			fmt.Fprintf(w, " %8s", "rfactor")
+		}
+		fmt.Fprintf(w, " %10s %12s", "recovered", "recovery(s)")
+		if detectorSweep {
+			fmt.Fprintf(w, " %10s", "detect(s)")
+		}
+		fmt.Fprintf(w, " %12s %12s %12s\n", "total(s)", "overhead(s)", "overhead(%)")
 		for _, r := range rs {
 			bd := r.Breakdown
 			over, overPct := "", ""
@@ -160,15 +238,21 @@ func WriteCampaign(w io.Writer, results []Result) {
 					overPct = fmt.Sprintf("%11.1f%%", 100*d/b.t)
 				}
 			}
+			fmt.Fprintf(w, "%-8d %-12s", r.Config.FaultCount(), r.Config.Design)
 			if detectorSweep {
-				fmt.Fprintf(w, "%-8d %-12s %-22s %10d %12.3f %10.3f %12.3f %12s %12s\n",
-					r.Config.FaultCount(), r.Config.Design, r.Config.Detector, bd.Recoveries,
-					bd.Recovery.Seconds(), bd.DetectLatency.Seconds(), bd.Total.Seconds(), over, overPct)
-			} else {
-				fmt.Fprintf(w, "%-8d %-12s %10d %12.3f %12.3f %12s %12s\n",
-					r.Config.FaultCount(), r.Config.Design, bd.Recoveries,
-					bd.Recovery.Seconds(), bd.Total.Seconds(), over, overPct)
+				fmt.Fprintf(w, " %-22s", r.Config.Detector)
 			}
+			if policySweep {
+				fmt.Fprintf(w, " %-24s", r.Config.CkptPolicy)
+			}
+			if factorSweep {
+				fmt.Fprintf(w, " %8.2f", ReplicaFactorOf(r.Config))
+			}
+			fmt.Fprintf(w, " %10d %12.3f", bd.Recoveries, bd.Recovery.Seconds())
+			if detectorSweep {
+				fmt.Fprintf(w, " %10.3f", bd.DetectLatency.Seconds())
+			}
+			fmt.Fprintf(w, " %12.3f %12s %12s\n", bd.Total.Seconds(), over, overPct)
 		}
 	}
 	fmt.Fprintln(w)
@@ -181,7 +265,8 @@ type baseTotal struct {
 }
 
 func baselineKey(c Config) string {
-	return fmt.Sprintf("%s/%s/p%d/%s/%s", c.App, c.Design, c.Procs, c.Input, c.Detector)
+	return fmt.Sprintf("%s/%s/p%d/%s/%s/%s/rf%g", c.App, c.Design, c.Procs, c.Input,
+		c.Detector, c.CkptPolicy, ReplicaFactorOf(c))
 }
 
 // DetectionTradeoff is one point of the detection-vs-interference curve: a
@@ -219,17 +304,26 @@ func ComputeDetectionTradeoff(results []Result) []DetectionTradeoff {
 		interfN                int
 		cells                  int
 	}
-	// Failure-free baseline per (app, design): first detector seen.
+	// Failure-free baseline per (app, design, placement policy, replica
+	// config): first detector seen. Keying the non-detector axes keeps a
+	// combined sweep (e.g. -detector ring -ckpt-policy fixed,never) from
+	// charging placement effects to the detector's interference column.
 	type adKey struct {
 		app    string
 		design Design
+		policy string
+		dup    int
+		factor float64
+	}
+	keyOf := func(c Config) adKey {
+		return adKey{c.App, c.Design, c.CkptPolicy.String(), c.Replica.DupDegree, c.Replica.ReplicaFactor}
 	}
 	baseTotal := map[adKey]float64{}
 	for _, r := range results {
 		if r.Config.FaultCount() != 0 {
 			continue
 		}
-		k := adKey{r.Config.App, r.Config.Design}
+		k := keyOf(r.Config)
 		if _, ok := baseTotal[k]; !ok {
 			baseTotal[k] = r.Breakdown.Total.Seconds()
 		}
@@ -246,7 +340,7 @@ func ComputeDetectionTradeoff(results []Result) []DetectionTradeoff {
 		}
 		a.cells++
 		if r.Config.FaultCount() == 0 {
-			if b, ok := baseTotal[adKey{r.Config.App, r.Config.Design}]; ok && b > 0 {
+			if b, ok := baseTotal[keyOf(r.Config)]; ok && b > 0 {
 				a.interfSum += 100 * (r.Breakdown.Total.Seconds() - b) / b
 				a.interfN++
 			}

@@ -14,6 +14,7 @@ import (
 
 	"match/internal/apps"
 	"match/internal/apps/appkit"
+	"match/internal/ckpt"
 	"match/internal/detect"
 	"match/internal/fault"
 	"match/internal/fti"
@@ -132,6 +133,15 @@ type Config struct {
 	FTILevel   fti.Level // default L1, as the paper benchmarks
 	CkptStride int       // default 10, as the paper
 
+	// CkptPolicy selects and tunes the checkpoint-placement strategy
+	// shared by all four designs (internal/ckpt). The zero value is the
+	// classic fixed-stride placement over CkptStride at FTILevel —
+	// reproducing the calibrated numbers byte-for-byte. The multi-level,
+	// replica-aware, and adaptive policies make placement a sweepable
+	// axis: how much checkpoint overhead replication actually buys off is
+	// the PartRePer trade-off the campaign harness plots.
+	CkptPolicy ckpt.Config
+
 	// Detector selects and tunes the failure-detection strategy shared by
 	// all four designs (internal/detect). The zero value keeps each
 	// design's calibrated preset: ULFM's ring heartbeat, Reinit's daemon
@@ -209,18 +219,31 @@ type Breakdown struct {
 	Completed      bool
 	CkptCount      int
 	CkptBytes      int64
-	Messages       int64
-	NetBytes       int64
+	// CkptCountAt / CkptBytesAt split CkptCount/CkptBytes by the FTI level
+	// each checkpoint was written at (index by fti.Level; slot 0 unused).
+	// Under fixed placement only the configured level's slot is populated;
+	// the multi-level policy spreads checkpoints across several.
+	CkptCountAt [5]int
+	CkptBytesAt [5]int64
+	// CkptAvoided counts the placement points where the base fixed-stride
+	// policy would have checkpointed but the active placement policy
+	// skipped — the checkpoints replication (or a longer adaptive
+	// interval) saved. Zero under fixed placement.
+	CkptAvoided int
+	Messages    int64
+	NetBytes    int64
 }
 
 // recorder accumulates per-rank results across job incarnations.
 type recorder struct {
-	sigs      map[int]float64
-	finish    map[int]simnet.Time
-	ckptTime  map[int]simnet.Time
-	ckptCount int
-	ckptBytes int64
-	errs      []error
+	sigs        map[int]float64
+	finish      map[int]simnet.Time
+	ckptTime    map[int]simnet.Time
+	ckptCount   int
+	ckptBytes   int64
+	ckptCountAt [5]int
+	ckptBytesAt [5]int64
+	errs        []error
 }
 
 func newRecorder() *recorder {
@@ -238,6 +261,10 @@ func (rec *recorder) addFTIStats(rank int, st fti.Stats) {
 	if rank == 0 {
 		rec.ckptCount += st.CkptCount
 		rec.ckptBytes += st.CkptBytes
+		for l := range st.CkptCountAt {
+			rec.ckptCountAt[l] += st.CkptCountAt[l]
+			rec.ckptBytesAt[l] += st.CkptBytesAt[l]
+		}
 	}
 }
 
@@ -279,6 +306,14 @@ func Run(cfg Config) (Breakdown, error) {
 	cfg.Restart.Detect = dcfg
 	cfg.Replica.Detect = dcfg
 
+	// Resolve and validate the checkpoint-placement policy the same way —
+	// a bad placement configuration fails loudly here, not ten simulated
+	// minutes in.
+	pcfg := ckpt.Resolve(cfg.CkptPolicy, cfg.CkptStride)
+	if err := pcfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+
 	// Ingress-NIC serialization is one knob for all designs (default off,
 	// matching the seed's egress-only calibration). ReplicaFTI historically
 	// forced it on; see the README's detection/calibration notes.
@@ -304,6 +339,15 @@ func Run(cfg Config) (Breakdown, error) {
 	}
 	inj := fault.NewScheduleInjector(sched)
 
+	// The placement planner is shared by every rank across incarnations,
+	// like the injector: each runtime feeds it the recovery count it
+	// re-arms policies on (and, for the replica design, the live group
+	// degree the replica-aware policy consults).
+	planner, err := ckpt.NewPlanner(pcfg, params.MaxIter, k)
+	if err != nil {
+		return Breakdown{}, err
+	}
+
 	// The execution id only needs to be stable across the incarnations of
 	// this one run (each run owns its cluster and storage), so it is derived
 	// from the configuration rather than a process-wide counter — which
@@ -327,7 +371,8 @@ func Run(cfg Config) (Breakdown, error) {
 		}
 		rank := r.Rank(world)
 		defer func() { record(rank, f.Stats) }()
-		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params}
+		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params,
+			Ckpt: planner.Policy()}
 		sig, aerr := appkit.RunMainLoop(ctx, factory())
 		if aerr != nil {
 			return aerr
@@ -340,13 +385,13 @@ func Run(cfg Config) (Breakdown, error) {
 	var bd Breakdown
 	switch cfg.Design {
 	case RestartFTI:
-		err = runRestart(cfg, cluster, rec, runApp, inj, scale, &bd)
+		err = runRestart(cfg, cluster, rec, runApp, inj, planner, scale, &bd)
 	case ReinitFTI:
-		err = runReinit(cfg, cluster, rec, runApp, inj, scale, &bd)
+		err = runReinit(cfg, cluster, rec, runApp, inj, planner, scale, &bd)
 	case UlfmFTI:
-		err = runUlfm(cfg, cluster, rec, runApp, inj, scale, &bd)
+		err = runUlfm(cfg, cluster, rec, runApp, inj, planner, scale, &bd)
 	case ReplicaFTI:
-		err = runReplica(cfg, cluster, rec, runApp, inj, scale, &bd)
+		err = runReplica(cfg, cluster, rec, runApp, inj, planner, scale, &bd)
 	default:
 		return Breakdown{}, fmt.Errorf("core: unknown design %v", cfg.Design)
 	}
@@ -366,6 +411,9 @@ func Run(cfg Config) (Breakdown, error) {
 	bd.Completed = len(rec.sigs) == cfg.Procs
 	bd.CkptCount = rec.ckptCount
 	bd.CkptBytes = rec.ckptBytes
+	bd.CkptCountAt = rec.ckptCountAt
+	bd.CkptBytesAt = rec.ckptBytesAt
+	bd.CkptAvoided = planner.Avoided()
 	if !bd.Completed {
 		return bd, fmt.Errorf("core: only %d/%d ranks completed (%v)", len(rec.sigs), cfg.Procs, firstErr(rec.errs))
 	}
@@ -383,6 +431,18 @@ func Run(cfg Config) (Breakdown, error) {
 // uses it to label measurements with the real strategy instead of
 // "preset".
 func ResolvedDetector(cfg Config) (detect.Config, error) { return resolveDetector(cfg) }
+
+// ResolvedCkptPolicy reports the checkpoint-placement configuration a Run
+// of cfg will actually use: cfg.CkptPolicy with its zero fields filled
+// (stride from CkptStride, kind defaults), validated. Reporting code uses
+// it to label measurements with the real placement parameters.
+func ResolvedCkptPolicy(cfg Config) (ckpt.Config, error) {
+	pcfg := ckpt.Resolve(cfg.CkptPolicy, cfg.CkptStride)
+	if err := pcfg.Validate(); err != nil {
+		return ckpt.Config{}, err
+	}
+	return pcfg, nil
+}
 
 // resolveDetector merges cfg.Detector with the design's calibrated preset
 // and validates the result (e.g. rejecting zero-period ring detectors and
@@ -440,7 +500,8 @@ func firstErr(errs []error) error {
 }
 
 func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector,
+	planner *ckpt.Planner, scale float64, bd *Breakdown) error {
 	rcfg := cfg.Restart
 	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
 	sup := restart.Supervise(cluster, rcfg, cfg.Procs, 0, func(r *mpi.Rank) {
@@ -450,8 +511,10 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		}
 	})
 	// AfterRecoveries-gated events arm once the launcher has restarted the
-	// job that many times.
+	// job that many times; the placement planner re-arms its policy on the
+	// same count.
 	inj.Recoveries = func() int { return len(sup.Recoveries) }
+	planner.Epoch = inj.Recoveries
 	cluster.Run()
 	for _, rcv := range sup.Recoveries {
 		bd.Recovery += rcv.Duration()
@@ -466,7 +529,8 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector,
+	planner *ckpt.Planner, scale float64, bd *Breakdown) error {
 	var rt *reinit.Runtime
 	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
 		if err := rt.Run(r); err != nil {
@@ -478,6 +542,7 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		return runApp(r, rt.World(), rec.addFTIStats)
 	})
 	inj.Recoveries = func() int { return len(rt.Recoveries) }
+	planner.Epoch = inj.Recoveries
 	cluster.Run()
 	rt.Stop()
 	rec.errs = append(rec.errs, rt.Errs...)
@@ -492,7 +557,8 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector,
+	planner *ckpt.Planner, scale float64, bd *Breakdown) error {
 	var rt *ulfm.Runtime
 	job := mpi.Launch(cluster, cfg.Procs, 0, func(r *mpi.Rank) {
 		if err := rt.RunResilient(r); err != nil {
@@ -504,6 +570,7 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		return runApp(r, world, rec.addFTIStats)
 	})
 	inj.Recoveries = func() int { return len(rt.Recoveries) }
+	planner.Epoch = inj.Recoveries
 	cluster.Run()
 	rt.Stop()
 	rec.errs = append(rec.errs, rt.Errs...)
@@ -518,7 +585,8 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 }
 
 func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
-	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector, scale float64, bd *Breakdown) error {
+	runApp func(*mpi.Rank, *mpi.Comm, func(int, fti.Stats)) error, inj *fault.Injector,
+	planner *ckpt.Planner, scale float64, bd *Breakdown) error {
 	rcfg := cfg.Replica
 	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
 	// All replicas of a rank run the identical checkpoints, so their FTI
@@ -544,6 +612,11 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		}
 	})
 	inj.Recoveries = func() int { return len(sup.Recoveries) }
+	// The planner re-arms on fallback relaunches and, through the live
+	// degree feed, lets the replica-aware policy see a group degrade the
+	// moment a failover prunes it.
+	planner.Epoch = inj.Recoveries
+	planner.Degree = sup.MinLiveDegree
 	cluster.Run()
 	for _, j := range sup.Jobs {
 		for rank := 0; rank < cfg.Procs; rank++ {

@@ -103,15 +103,26 @@ type Crossover struct {
 }
 
 // ComputeCrossover derives the crossover analysis from campaign results.
+// Cells are additionally keyed by the swept axes (detector, placement
+// policy, replica factor), so a multi-axis campaign compares designs
+// within matching configurations instead of overwriting across the sweep.
 func ComputeCrossover(results []Result) Crossover {
 	type cell struct {
-		app, input string
-		procs, k   int
+		app, input       string
+		procs, k         int
+		detector, policy string
+		dup              int
+		rfactor          float64
 	}
 	rec := map[cell]map[Design]Breakdown{}
 	var order []cell // first-seen order: deterministic float summation
 	for _, r := range results {
-		c := cell{r.Config.App, r.Config.Input.String(), r.Config.Procs, r.Config.FaultCount()}
+		// The replica knobs are keyed raw (not via ReplicaFactorOf, which
+		// is design-dependent) so every design of one sweep point shares a
+		// cell.
+		c := cell{r.Config.App, r.Config.Input.String(), r.Config.Procs, r.Config.FaultCount(),
+			r.Config.Detector.String(), r.Config.CkptPolicy.String(),
+			r.Config.Replica.DupDegree, r.Config.Replica.ReplicaFactor}
 		if rec[c] == nil {
 			rec[c] = map[Design]Breakdown{}
 			order = append(order, c)

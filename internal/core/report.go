@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"match/internal/ckpt"
 	"match/internal/detect"
 	"match/internal/simnet"
 )
@@ -55,6 +56,11 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 		acc.FaultsInjected += bd.FaultsInjected
 		acc.CkptCount += bd.CkptCount
 		acc.CkptBytes += bd.CkptBytes
+		for l := range bd.CkptCountAt {
+			acc.CkptCountAt[l] += bd.CkptCountAt[l]
+			acc.CkptBytesAt[l] += bd.CkptBytesAt[l]
+		}
+		acc.CkptAvoided += bd.CkptAvoided
 		acc.Messages += bd.Messages
 		acc.NetBytes += bd.NetBytes
 	}
@@ -69,6 +75,11 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	acc.FaultsInjected = int(divRound(int64(acc.FaultsInjected), reps))
 	acc.CkptCount = int(divRound(int64(acc.CkptCount), reps))
 	acc.CkptBytes = divRound(acc.CkptBytes, reps)
+	for l := range acc.CkptCountAt {
+		acc.CkptCountAt[l] = int(divRound(int64(acc.CkptCountAt[l]), reps))
+		acc.CkptBytesAt[l] = divRound(acc.CkptBytesAt[l], reps)
+	}
+	acc.CkptAvoided = int(divRound(int64(acc.CkptAvoided), reps))
 	acc.Messages = divRound(acc.Messages, reps)
 	acc.NetBytes = divRound(acc.NetBytes, reps)
 	acc.Signature = results[0].Breakdown.Signature
@@ -94,6 +105,9 @@ type SuiteOptions struct {
 	// Detector applies one detection strategy to every run of the sweep
 	// (ablation); the zero value keeps the per-design calibrated presets.
 	Detector detect.Config
+	// CkptPolicy applies one checkpoint-placement policy to every run of
+	// the sweep; the zero value keeps fixed-stride placement.
+	CkptPolicy ckpt.Config
 	// ModelIngress switches receiver-NIC serialization on for every run.
 	ModelIngress bool
 }
@@ -154,6 +168,7 @@ func FigureConfigs(fig int, opts SuiteOptions) ([]Config, error) {
 						InjectFault:  fault,
 						FaultSeed:    opts.Seed,
 						Detector:     opts.Detector,
+						CkptPolicy:   opts.CkptPolicy,
 						ModelIngress: opts.ModelIngress,
 					})
 				}
@@ -320,17 +335,33 @@ func WriteFigure(w io.Writer, fig int, results []Result) {
 
 // WriteCSV emits results as CSV for external plotting. The faults column
 // is the scheduled failure count of the configuration (campaign sweeps
-// vary it; the paper's figures have it at 0 or 1).
+// vary it; the paper's figures have it at 0 or 1); ckpt_policy and
+// rfactor label the placement and replication axes; the ckpt_l* columns
+// split the checkpoint count by FTI level and ckpt_avoided counts the
+// checkpoints the placement policy skipped relative to fixed placement.
 func WriteCSV(w io.Writer, results []Result) {
-	fmt.Fprintln(w, "app,design,procs,input,faults,detector,app_s,ckpt_s,recovery_s,detect_s,total_s,recoveries,messages,net_bytes")
+	fmt.Fprintln(w, "app,design,procs,input,faults,detector,ckpt_policy,rfactor,app_s,ckpt_s,recovery_s,detect_s,total_s,recoveries,ckpts,ckpt_l1,ckpt_l2,ckpt_l3,ckpt_l4,ckpt_avoided,messages,net_bytes")
 	for _, r := range results {
 		bd := r.Breakdown
-		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%s,%s,%g,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Config.App, r.Config.Design, r.Config.Procs, r.Config.Input,
-			r.Config.FaultCount(), r.Config.Detector, bd.App.Seconds(), bd.Ckpt.Seconds(),
+			r.Config.FaultCount(), csvField(r.Config.Detector.String()),
+			csvField(r.Config.CkptPolicy.String()), ReplicaFactorOf(r.Config),
+			bd.App.Seconds(), bd.Ckpt.Seconds(),
 			bd.Recovery.Seconds(), bd.DetectLatency.Seconds(), bd.Total.Seconds(), bd.Recoveries,
-			bd.Messages, bd.NetBytes)
+			bd.CkptCount, bd.CkptCountAt[1], bd.CkptCountAt[2], bd.CkptCountAt[3], bd.CkptCountAt[4],
+			bd.CkptAvoided, bd.Messages, bd.NetBytes)
 	}
+}
+
+// csvField quotes a rendered label when it would otherwise split the row:
+// detector and placement strings carry their tuning in parentheses with
+// comma separators (e.g. "multi-level(s=10,l2=3,l4=10)").
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
 }
 
 // WriteTableI renders the paper's Table I along with the reproduction's

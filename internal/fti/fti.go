@@ -104,9 +104,15 @@ type Protected interface {
 // Stats aggregates per-rank FTI timing, consumed by the harness for the
 // paper's "Write Checkpoints" breakdown component.
 type Stats struct {
-	CkptTime    simnet.Time // total time inside Checkpoint
-	CkptCount   int
-	CkptBytes   int64
+	CkptTime  simnet.Time // total time inside Checkpoint
+	CkptCount int
+	CkptBytes int64
+	// CkptCountAt / CkptBytesAt split CkptCount/CkptBytes by the level each
+	// checkpoint was actually written at (index by Level; slot 0 unused) —
+	// the multi-level placement policies write different checkpoints at
+	// different levels within one run.
+	CkptCountAt [5]int
+	CkptBytesAt [5]int64
 	RecoverTime simnet.Time // total time inside Recover (reading + restoring)
 	RecoverOps  int
 }
@@ -122,6 +128,10 @@ type FTI struct {
 	objs   []protEntry
 	status Status
 	latest int64 // latest committed checkpoint id, -1 if none
+	// latestLevel is the level the latest committed checkpoint was written
+	// at (placement policies override the configured level per checkpoint);
+	// zero falls back to cfg.Level.
+	latestLevel Level
 	// origNodes is the rank-to-node placement of the first incarnation of
 	// this ExecID, persisted to the PFS like FTI's topology metadata; L2
 	// partner locations are derived from it so that recovery finds partner
@@ -156,16 +166,32 @@ func Init(cfg Config, r *mpi.Rank, comm *mpi.Comm, st *storage.System) (*FTI, er
 	}
 	f.loadTopology()
 	mine := f.readMeta()
-	// Agree on the newest checkpoint id every rank can restore.
+	// Agree on the newest checkpoint every rank can restore. The packed
+	// (id, level) metadata keeps the id in the high bits, so OpMin still
+	// selects the smallest common id — and since the commit is collective,
+	// every rank holding that id packed the same level with it.
 	agreed, err := mpi.AllreduceI64Scalar(r, comm, mine, mpi.OpMin)
 	if err != nil {
 		return nil, fmt.Errorf("fti: init agreement: %w", err)
 	}
 	if agreed >= 0 {
-		f.latest = agreed
+		f.latest, f.latestLevel = unpackMeta(agreed)
 		f.status = StatusRestart
 	}
 	return f, nil
+}
+
+// Checkpoint metadata packs the committed id together with the level it
+// was written at into one int64 (id in the high bits so the init
+// agreement's OpMin orders by id). The encoding is the same 8 bytes the
+// id-only metadata occupied, so metadata I/O charges identical time.
+const metaLevelBits = 8
+
+func packMeta(id int64, level Level) int64 { return id<<metaLevelBits | int64(level) }
+
+func unpackMeta(v int64) (int64, Level) {
+	id, level := v>>metaLevelBits, Level(v&(1<<metaLevelBits-1))
+	return id, level
 }
 
 // loadTopology reads (or, on the first incarnation, records) the original
@@ -233,12 +259,20 @@ func (f *FTI) partnerPath(id int64) string {
 func (f *FTI) parityPath(id int64) string { return fmt.Sprintf("%sparity%d", f.base(), id) }
 func (f *FTI) hashPath() string           { return f.base() + "blockhashes" }
 
-// tier returns the storage tier checkpoint payloads live in for the level.
-func (f *FTI) tier() storage.Tier {
-	if f.cfg.Level == L4 {
+// tier returns the storage tier checkpoint payloads live in for a level.
+func tier(level Level) storage.Tier {
+	if level == L4 {
 		return storage.PFS
 	}
 	return storage.RAMFS
+}
+
+// committedLevel is the level of the latest committed checkpoint.
+func (f *FTI) committedLevel() Level {
+	if f.latestLevel != 0 {
+		return f.latestLevel
+	}
+	return f.cfg.Level
 }
 
 // partnerNode returns the node holding this rank's L2 partner copies: the
@@ -258,31 +292,51 @@ func (f *FTI) partnerNode() int {
 	return f.node // single-node job: no real protection possible
 }
 
-// readMeta returns the committed checkpoint id recorded for this rank, or
-// -1. For L2 the partner's copy of the metadata is consulted when the local
-// one is unavailable (e.g. the node rebooted).
+// readMeta returns the packed (id, level) metadata recorded for this rank,
+// or -1. When the local copy is unavailable (e.g. the node rebooted) it
+// consults the partner-node mirror an L2 commit leaves behind, then the
+// PFS mirror of an L4-escalated commit. Probing a missing path charges no
+// time, so fresh starts are unaffected.
 func (f *FTI) readMeta() int64 {
 	sp := f.r.Sim()
-	if b, err := f.st.Read(sp, f.tier(), f.node, f.metaPath()); err == nil && len(b) == 8 {
+	if b, err := f.st.Read(sp, tier(f.cfg.Level), f.node, f.metaPath()); err == nil && len(b) == 8 {
 		return enc.Int64(b)
 	}
-	if f.cfg.Level == L2 {
-		if b, err := f.st.ReadRemote(sp, storage.RAMFS, f.partnerNode(), f.node, "p/"+f.metaPath()); err == nil && len(b) == 8 {
-			return enc.Int64(b)
-		}
+	if b, err := f.st.ReadRemote(sp, storage.RAMFS, f.partnerNode(), f.node, "p/"+f.metaPath()); err == nil && len(b) == 8 {
+		return enc.Int64(b)
+	}
+	if b, err := f.st.Read(sp, storage.PFS, f.node, "pfs/"+f.metaPath()); err == nil && len(b) == 8 {
+		return enc.Int64(b)
 	}
 	return -1
 }
 
-func (f *FTI) writeMeta(id int64) error {
+// writeMeta commits (id, level). Besides the local record at the
+// configured level's tier, commits whose payload survives this node's
+// failure keep a reachable metadata mirror — on the partner node for L2,
+// on the PFS for L4 — refreshed or retired on *every* commit, so a stale
+// mirror can never resurrect a garbage-collected checkpoint id after a
+// node failure (mirror deletes charge no time; an L2 configuration always
+// refreshes its partner mirror, as it always did).
+func (f *FTI) writeMeta(id int64, level Level) error {
 	sp := f.r.Sim()
-	b := enc.AppendInt64(nil, id)
-	if err := f.st.Write(sp, f.tier(), f.node, f.metaPath(), b); err != nil {
+	b := enc.AppendInt64(nil, packMeta(id, level))
+	if err := f.st.Write(sp, tier(f.cfg.Level), f.node, f.metaPath(), b); err != nil {
 		return err
 	}
-	if f.cfg.Level == L2 {
+	if tier(f.cfg.Level) != storage.PFS {
+		if level == L4 {
+			if err := f.st.Write(sp, storage.PFS, f.node, "pfs/"+f.metaPath(), b); err != nil {
+				return err
+			}
+		} else {
+			f.st.Delete(storage.PFS, f.node, "pfs/"+f.metaPath())
+		}
+	}
+	if level == L2 || f.cfg.Level == L2 {
 		return f.st.WriteRemote(sp, storage.RAMFS, f.node, f.partnerNode(), "p/"+f.metaPath(), b)
 	}
+	f.st.Delete(storage.RAMFS, f.partnerNode(), "p/"+f.metaPath())
 	return nil
 }
 
@@ -332,22 +386,42 @@ func (f *FTI) deserialize(b []byte) error {
 }
 
 // Checkpoint writes a checkpoint identified by id (the application
-// typically passes its iteration number), like FTI_Checkpoint(id, level).
-// The checkpoint becomes visible to recovery only after every rank's write
-// has completed (collective commit). Older checkpoints are garbage-
-// collected after the commit.
-func (f *FTI) Checkpoint(id int64) error {
+// typically passes its iteration number) at the configured level, like
+// FTI_Checkpoint(id, level). The checkpoint becomes visible to recovery
+// only after every rank's write has completed (collective commit). Older
+// checkpoints are garbage-collected after the commit.
+func (f *FTI) Checkpoint(id int64) error { return f.CheckpointAt(id, 0) }
+
+// CheckpointAt is Checkpoint with a per-checkpoint level override (zero
+// keeps the configured level) — the hook the multi-level placement
+// policies escalate individual checkpoints through. The override is
+// collective: every rank must pass the same level, which the placement
+// subsystem's memoized decisions guarantee. Recovery restores from
+// whatever level the newest committed checkpoint was written at. Restart-
+// status metadata stays at the configured level's tier (with the L2
+// partner mirror refreshed on every commit of an L2 configuration), so an
+// escalated checkpoint protects its payload at the higher level while
+// metadata durability still follows the configured base level.
+func (f *FTI) CheckpointAt(id int64, level Level) error {
+	if level == 0 {
+		level = f.cfg.Level
+	}
+	if level < L1 || level > L4 {
+		return fmt.Errorf("fti: unknown level %v", level)
+	}
 	start := f.r.Now()
 	defer func() {
 		f.Stats.CkptTime += f.r.Now() - start
 		f.Stats.CkptCount++
+		f.Stats.CkptCountAt[level]++
 	}()
 	payload := f.serialize()
 	f.Stats.CkptBytes += int64(len(payload))
+	f.Stats.CkptBytesAt[level] += int64(len(payload))
 	f.r.Compute(f.cfg.CkptOverhead)
 
 	var err error
-	switch f.cfg.Level {
+	switch level {
 	case L1:
 		err = f.writeL1(id, payload)
 	case L2:
@@ -356,8 +430,6 @@ func (f *FTI) Checkpoint(id int64) error {
 		err = f.writeL3(id, payload)
 	case L4:
 		err = f.writeL4(id, payload)
-	default:
-		err = fmt.Errorf("fti: unknown level %v", f.cfg.Level)
 	}
 	if err != nil {
 		return err
@@ -372,25 +444,25 @@ func (f *FTI) Checkpoint(id int64) error {
 	if agreed != id {
 		return fmt.Errorf("fti: commit mismatch: agreed=%d id=%d", agreed, id)
 	}
-	prev := f.latest
-	f.latest = id
+	prev, prevLevel := f.latest, f.committedLevel()
+	f.latest, f.latestLevel = id, level
 	f.status = StatusFresh // a fresh checkpoint supersedes restart state
-	if err := f.writeMeta(id); err != nil {
+	if err := f.writeMeta(id, level); err != nil {
 		return err
 	}
 	if prev >= 0 && prev != id {
-		f.gc(prev)
+		f.gc(prev, prevLevel)
 	}
 	return nil
 }
 
-// gc removes the files of an old checkpoint.
-func (f *FTI) gc(id int64) {
-	f.st.Delete(f.tier(), f.node, f.ckptPath(id))
-	if f.cfg.Level == L2 {
+// gc removes the files of an old checkpoint, at the level it was written.
+func (f *FTI) gc(id int64, level Level) {
+	f.st.Delete(tier(level), f.node, f.ckptPath(id))
+	if level == L2 {
 		f.st.Delete(storage.RAMFS, f.partnerNode(), "p/"+f.partnerPath(id))
 	}
-	if f.cfg.Level == L3 {
+	if level == L3 {
 		f.st.Delete(storage.RAMFS, f.node, f.parityPath(id))
 	}
 }
@@ -407,9 +479,10 @@ func (f *FTI) Recover() error {
 	if f.latest < 0 {
 		return ErrNoCheckpoint
 	}
+	level := f.committedLevel()
 	var payload []byte
 	var err error
-	switch f.cfg.Level {
+	switch level {
 	case L1:
 		payload, err = f.st.Read(f.r.Sim(), storage.RAMFS, f.node, f.ckptPath(f.latest))
 	case L2:
@@ -420,7 +493,7 @@ func (f *FTI) Recover() error {
 		payload, err = f.st.Read(f.r.Sim(), storage.PFS, f.node, f.ckptPath(f.latest))
 	}
 	if err != nil {
-		return fmt.Errorf("fti: recover %v ckpt %d: %w", f.cfg.Level, f.latest, err)
+		return fmt.Errorf("fti: recover %v ckpt %d: %w", level, f.latest, err)
 	}
 	if err := f.deserialize(payload); err != nil {
 		return err

@@ -411,3 +411,326 @@ func harnessQ(nobj int, rng *rand.Rand, ok *bool) {
 	_ = j
 	c.Run()
 }
+
+// TestCheckpointAtLevelOverride pins the placement subsystem's FTI hook:
+// individual checkpoints can be escalated past the configured level, the
+// committed (id, level) metadata round-trips through a re-init, recovery
+// restores from the override's tier, and the per-level stats split the
+// checkpoint counts accordingly.
+func TestCheckpointAtLevelOverride(t *testing.T) {
+	harness(t, 2, func(r *mpi.Rank, st *storage.System) {
+		w := r.Job().World()
+		cfg := Config{Level: L1, ExecID: "override"}
+		f, err := Init(cfg, r, w, st)
+		if err != nil {
+			t.Errorf("init: %v", err)
+			return
+		}
+		v := 1
+		f.Protect(0, Int{&v})
+		if err := f.Checkpoint(1); err != nil { // plain L1
+			t.Errorf("ckpt 1: %v", err)
+			return
+		}
+		v = 2
+		if err := f.CheckpointAt(2, L4); err != nil { // escalated to the PFS
+			t.Errorf("ckpt 2: %v", err)
+			return
+		}
+		if f.Stats.CkptCountAt[L1] != 1 || f.Stats.CkptCountAt[L4] != 1 {
+			t.Errorf("per-level counts = %v", f.Stats.CkptCountAt)
+		}
+		if f.Stats.CkptBytesAt[L1] == 0 || f.Stats.CkptBytesAt[L4] == 0 {
+			t.Errorf("per-level bytes = %v", f.Stats.CkptBytesAt)
+		}
+		// The L4 payload must really live on the PFS, and the superseded L1
+		// file must have been garbage-collected at its own tier.
+		if !st.Exists(storage.PFS, r.Process().NodeID(), f.ckptPath(2)) {
+			t.Error("escalated checkpoint not on the PFS")
+		}
+		if st.Exists(storage.RAMFS, r.Process().NodeID(), f.ckptPath(1)) {
+			t.Error("old L1 checkpoint not garbage-collected")
+		}
+		// A re-init agrees on (id=2, level=L4) and recovers from the PFS —
+		// even though the configured level is L1.
+		v = -1
+		f2, err := Init(cfg, r, w, st)
+		if err != nil {
+			t.Errorf("re-init: %v", err)
+			return
+		}
+		f2.Protect(0, Int{&v})
+		if f2.Status() != StatusRestart || f2.LatestCheckpoint() != 2 {
+			t.Errorf("status %v latest %d, want restart of 2", f2.Status(), f2.LatestCheckpoint())
+		}
+		if err := f2.Recover(); err != nil {
+			t.Errorf("recover: %v", err)
+			return
+		}
+		if v != 2 {
+			t.Errorf("recovered v = %d, want 2", v)
+		}
+		if err := f2.CheckpointAt(3, 0); err != nil { // 0 keeps the configured level
+			t.Errorf("ckpt 3: %v", err)
+			return
+		}
+		if f2.Stats.CkptCountAt[L1] != 1 {
+			t.Errorf("zero override did not use the configured level: %v", f2.Stats.CkptCountAt)
+		}
+		if err := f2.CheckpointAt(4, Level(9)); err == nil {
+			t.Error("CheckpointAt accepted level 9")
+		}
+	})
+}
+
+// TestMetaPackRoundTrip pins the packed metadata encoding: same 8 bytes as
+// the id-only format (so metadata I/O time is unchanged) with the id in
+// the high bits (so the init agreement's OpMin still orders by id).
+func TestMetaPackRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		id    int64
+		level Level
+	}{{0, L1}, {7, L2}, {12345, L4}, {1 << 40, L3}} {
+		id, level := unpackMeta(packMeta(c.id, c.level))
+		if id != c.id || level != c.level {
+			t.Fatalf("pack(%d,%v) round-tripped to (%d,%v)", c.id, c.level, id, level)
+		}
+	}
+	if packMeta(3, L4) >= packMeta(4, L1) {
+		t.Fatal("packing broke id ordering under OpMin")
+	}
+}
+
+// TestL2PartnerMetaStaysFreshAcrossEscalation is the regression pin for
+// escalated commits under an L2 configuration: a checkpoint escalated to
+// L4 must still refresh the partner-node metadata mirror, or a node
+// failure would make partner-side recovery resurrect the previous —
+// garbage-collected — checkpoint id and fail.
+func TestL2PartnerMetaStaysFreshAcrossEscalation(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	j1 := mpi.Launch(c, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{Level: L2, ExecID: "l2esc"}, r, w, st)
+		x := 0
+		f.Protect(0, Int{&x})
+		x = 100 + r.Rank(w)
+		if err := f.Checkpoint(5); err != nil { // base L2 commit
+			t.Errorf("ckpt 5: %v", err)
+		}
+		x = 200 + r.Rank(w)
+		if err := f.CheckpointAt(6, L4); err != nil { // escalated commit
+			t.Errorf("ckpt 6: %v", err)
+		}
+	})
+	c.Run()
+	_ = j1
+	// Rank 0's node dies; the relocated rank must agree on (6, L4) via the
+	// partner metadata mirror and restore checkpoint 6 from the PFS — not
+	// drag every rank back to the garbage-collected id 5.
+	c.FailNode(0)
+	recovered := make([]int, 4)
+	j2 := mpi.LaunchPlaced(c, []int{1, 1, 2, 3}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		f, err := Init(Config{Level: L2, ExecID: "l2esc"}, r, w, st)
+		if err != nil {
+			t.Errorf("rank %d re-init: %v", me, err)
+			return
+		}
+		if f.LatestCheckpoint() != 6 {
+			t.Errorf("rank %d agreed on checkpoint %d, want 6", me, f.LatestCheckpoint())
+			return
+		}
+		x := -1
+		f.Protect(0, Int{&x})
+		if err := f.Recover(); err != nil {
+			t.Errorf("rank %d recover: %v", me, err)
+			return
+		}
+		recovered[me] = x
+	})
+	_ = j2
+	c.Run()
+	for me, x := range recovered {
+		if x != 200+me {
+			t.Fatalf("rank %d recovered %d, want %d", me, x, 200+me)
+		}
+	}
+}
+
+// TestL4EscalationSurvivesNodeFailure pins the PFS metadata mirror: an
+// L4-escalated commit under a node-local base level must stay reachable
+// after the node dies (the README's "periodic durable copies" claim), and
+// a later node-local commit must retire the mirror so a node failure can
+// never resurrect the garbage-collected L4 id.
+func TestL4EscalationSurvivesNodeFailure(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	j1 := mpi.Launch(c, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{Level: L1, ExecID: "l4esc"}, r, w, st)
+		x := 0
+		f.Protect(0, Int{&x})
+		x = 100 + r.Rank(w)
+		if err := f.Checkpoint(5); err != nil {
+			t.Errorf("ckpt 5: %v", err)
+		}
+		x = 200 + r.Rank(w)
+		if err := f.CheckpointAt(6, L4); err != nil { // durable escalation
+			t.Errorf("ckpt 6: %v", err)
+		}
+	})
+	c.Run()
+	_ = j1
+	c.FailNode(0) // rank 0's RAMFS metadata and L1 files are gone
+	recovered := make([]int, 4)
+	j2 := mpi.LaunchPlaced(c, []int{1, 1, 2, 3}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		f, err := Init(Config{Level: L1, ExecID: "l4esc"}, r, w, st)
+		if err != nil {
+			t.Errorf("rank %d re-init: %v", me, err)
+			return
+		}
+		if f.LatestCheckpoint() != 6 {
+			t.Errorf("rank %d agreed on checkpoint %d, want 6 (PFS metadata mirror)", me, f.LatestCheckpoint())
+			return
+		}
+		x := -1
+		f.Protect(0, Int{&x})
+		if err := f.Recover(); err != nil {
+			t.Errorf("rank %d recover: %v", me, err)
+			return
+		}
+		recovered[me] = x
+	})
+	_ = j2
+	c.Run()
+	for me, x := range recovered {
+		if x != 200+me {
+			t.Fatalf("rank %d recovered %d, want %d", me, x, 200+me)
+		}
+	}
+	// Retirement: a node-local commit after the escalation deletes the
+	// mirror, so a node failure reports "no checkpoint" (-1) instead of
+	// resurrecting the garbage-collected id 6.
+	c2 := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st2 := storage.New(c2, storage.Config{})
+	j3 := mpi.Launch(c2, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{Level: L1, ExecID: "l4ret"}, r, w, st2)
+		x := 0
+		f.Protect(0, Int{&x})
+		if err := f.CheckpointAt(6, L4); err != nil {
+			t.Errorf("ckpt 6: %v", err)
+		}
+		if err := f.Checkpoint(7); err != nil { // back to L1; 6 is gc'd
+			t.Errorf("ckpt 7: %v", err)
+		}
+	})
+	c2.Run()
+	_ = j3
+	c2.FailNode(0)
+	j4 := mpi.LaunchPlaced(c2, []int{1, 1, 2, 3}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, err := Init(Config{Level: L1, ExecID: "l4ret"}, r, w, st2)
+		if err != nil {
+			t.Errorf("re-init: %v", err)
+			return
+		}
+		if f.Status() != StatusFresh {
+			t.Errorf("rank %d resurrected checkpoint %d from a retired mirror", r.Rank(w), f.LatestCheckpoint())
+		}
+	})
+	_ = j4
+	c2.Run()
+}
+
+// TestL2EscalationSurvivesNodeFailureUnderL1Base pins the partner-node
+// metadata mirror for escalations: an L2-escalated commit under an L1
+// base configuration must be recoverable via its partner copy after the
+// node dies, and a later L1 commit must retire the partner mirror so it
+// cannot resurrect the garbage-collected L2 id.
+func TestL2EscalationSurvivesNodeFailureUnderL1Base(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	j1 := mpi.Launch(c, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{Level: L1, ExecID: "l2u1"}, r, w, st)
+		x := 0
+		f.Protect(0, Int{&x})
+		x = 100 + r.Rank(w)
+		if err := f.Checkpoint(5); err != nil {
+			t.Errorf("ckpt 5: %v", err)
+		}
+		x = 200 + r.Rank(w)
+		if err := f.CheckpointAt(6, L2); err != nil { // partner-protected
+			t.Errorf("ckpt 6: %v", err)
+		}
+	})
+	c.Run()
+	_ = j1
+	c.FailNode(0)
+	recovered := make([]int, 4)
+	j2 := mpi.LaunchPlaced(c, []int{1, 1, 2, 3}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		f, err := Init(Config{Level: L1, ExecID: "l2u1"}, r, w, st)
+		if err != nil {
+			t.Errorf("rank %d re-init: %v", me, err)
+			return
+		}
+		if f.LatestCheckpoint() != 6 {
+			t.Errorf("rank %d agreed on checkpoint %d, want 6 (partner metadata mirror)", me, f.LatestCheckpoint())
+			return
+		}
+		x := -1
+		f.Protect(0, Int{&x})
+		if err := f.Recover(); err != nil {
+			t.Errorf("rank %d recover: %v", me, err)
+			return
+		}
+		recovered[me] = x
+	})
+	_ = j2
+	c.Run()
+	for me, x := range recovered {
+		if x != 200+me {
+			t.Fatalf("rank %d recovered %d, want %d", me, x, 200+me)
+		}
+	}
+	// Retirement: an L1 commit after the escalation deletes the partner
+	// mirror; a node failure then reports no checkpoint instead of the
+	// garbage-collected id 6.
+	c2 := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st2 := storage.New(c2, storage.Config{})
+	j3 := mpi.Launch(c2, 4, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{Level: L1, ExecID: "l2ret"}, r, w, st2)
+		x := 0
+		f.Protect(0, Int{&x})
+		if err := f.CheckpointAt(6, L2); err != nil {
+			t.Errorf("ckpt 6: %v", err)
+		}
+		if err := f.Checkpoint(7); err != nil {
+			t.Errorf("ckpt 7: %v", err)
+		}
+	})
+	c2.Run()
+	_ = j3
+	c2.FailNode(0)
+	j4 := mpi.LaunchPlaced(c2, []int{1, 1, 2, 3}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, err := Init(Config{Level: L1, ExecID: "l2ret"}, r, w, st2)
+		if err != nil {
+			t.Errorf("re-init: %v", err)
+			return
+		}
+		if f.Status() != StatusFresh {
+			t.Errorf("rank %d resurrected checkpoint %d from a retired partner mirror", r.Rank(w), f.LatestCheckpoint())
+		}
+	})
+	_ = j4
+	c2.Run()
+}

@@ -283,6 +283,29 @@ func (s *Supervisor) Done() bool {
 	return true
 }
 
+// MinLiveDegree reports the smallest live replica-group size across the
+// logical ranks of the current incarnation — the protection signal the
+// replica-aware checkpoint-placement policy re-arms on. It is 1 (or 0,
+// mid-teardown) as soon as any rank's state would not survive a process
+// failure: under partial replication from the start, or after a failover
+// degrades a group. Members that already exited successfully still count
+// as protection — a completed rank's state needs no checkpoint.
+func (s *Supervisor) MinLiveDegree() int {
+	min := s.cfg.DupDegree
+	for r := 0; r < s.layout.Procs; r++ {
+		n := 0
+		for _, m := range s.world.ReplicaGroup(r) {
+			if !m.Failed() {
+				n++
+			}
+		}
+		if n < min {
+			min = n
+		}
+	}
+	return min
+}
+
 // Failovers counts the rollback-free recoveries performed.
 func (s *Supervisor) Failovers() int { return s.count(Failover) }
 

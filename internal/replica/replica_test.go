@@ -178,3 +178,29 @@ func TestSupervisorDeterministic(t *testing.T) {
 		t.Fatalf("runs diverged: (%v,%d) vs (%v,%d)", t1, r1, t2, r2)
 	}
 }
+
+// MinLiveDegree is the replica-aware checkpoint policy's protection
+// signal: full replication reports the dup degree, partial replication
+// reports 1 from the start, and a failover degrades it to 1 the moment a
+// group loses a member.
+func TestMinLiveDegree(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	sup := Supervise(c, Config{}, 4, workloop(t, 10, 2, 1, 3))
+	if got := sup.MinLiveDegree(); got != 2 {
+		t.Fatalf("fully replicated degree = %d, want 2", got)
+	}
+	c.Run()
+	if !sup.Done() || sup.Failovers() != 1 {
+		t.Fatalf("done=%v failovers=%d", sup.Done(), sup.Failovers())
+	}
+	if got := sup.MinLiveDegree(); got != 1 {
+		t.Fatalf("degree after failover = %d, want 1", got)
+	}
+
+	c2 := simnet.NewCluster(simnet.Config{Nodes: 4})
+	sup2 := Supervise(c2, Config{ReplicaFactor: 0.5}, 4, workloop(t, 2, -1, -1, -1))
+	if got := sup2.MinLiveDegree(); got != 1 {
+		t.Fatalf("partial replication degree = %d, want 1 (some rank is unprotected)", got)
+	}
+	c2.Run()
+}

@@ -25,6 +25,7 @@ import (
 
 	"match/internal/apps"
 	"match/internal/apps/appkit"
+	"match/internal/ckpt"
 	"match/internal/core"
 	"match/internal/depanal"
 	"match/internal/detect"
@@ -78,6 +79,16 @@ type (
 	// DetectionTradeoff is one point of the campaign-level detection
 	// latency vs steady-state interference curve.
 	DetectionTradeoff = core.DetectionTradeoff
+	// CkptPolicyConfig selects and tunes the checkpoint-placement policy
+	// any design runs under (fixed stride / multi-level interleaving /
+	// replica-aware stretching / adaptive Young–Daly); set it as
+	// Config.CkptPolicy, or sweep a list via CampaignOptions.Policies.
+	CkptPolicyConfig = ckpt.Config
+	// CkptPolicyKind names a checkpoint-placement strategy.
+	CkptPolicyKind = ckpt.Kind
+	// ReplicaTradeoff is one point of the campaign-level combined
+	// overhead-vs-ReplicaFactor curve (the PartRePer trade-off).
+	ReplicaTradeoff = core.ReplicaTradeoff
 )
 
 // The detection strategies (Config.Detector.Kind). PresetDetector — the
@@ -92,6 +103,32 @@ const (
 // ParseDetectorKind resolves a detector name ("launcher", "ring", "tree",
 // "preset") case-insensitively.
 func ParseDetectorKind(name string) (DetectorKind, error) { return detect.ParseKind(name) }
+
+// The checkpoint-placement strategies (Config.CkptPolicy.Kind).
+// FixedPlacement — the zero value — keeps the classic stride placement.
+const (
+	FixedPlacement        = ckpt.Fixed
+	MultiLevelPlacement   = ckpt.MultiLevel
+	ReplicaAwarePlacement = ckpt.ReplicaAware
+	AdaptivePlacement     = ckpt.Adaptive
+	NeverPlacement        = ckpt.Never
+)
+
+// ParseCkptPolicyKind resolves a placement-policy name ("fixed",
+// "multi-level", "replica-aware", "adaptive", "never") case-insensitively.
+func ParseCkptPolicyKind(name string) (CkptPolicyKind, error) { return ckpt.ParseKind(name) }
+
+// ComputeReplicaTradeoff derives the combined overhead-vs-ReplicaFactor
+// curve from campaign results that swept the replication axis
+// (CampaignOptions.ReplicaFactors).
+func ComputeReplicaTradeoff(results []Result) []ReplicaTradeoff {
+	return core.ComputeReplicaTradeoff(results)
+}
+
+// WriteReplicaTradeoff renders the overhead-vs-ReplicaFactor curve.
+func WriteReplicaTradeoff(w io.Writer, rows []ReplicaTradeoff) {
+	core.WriteReplicaTradeoff(w, rows)
+}
 
 // ComputeDetectionTradeoff derives the per-design detection-latency vs
 // interference curve from campaign results that swept the detection axis.

@@ -69,3 +69,31 @@ func TestFacadeTracer(t *testing.T) {
 		t.Fatalf("analysis = %+v", res)
 	}
 }
+
+func TestFacadeCkptPolicy(t *testing.T) {
+	k, err := match.ParseCkptPolicyKind("replica-aware")
+	if err != nil || k != match.ReplicaAwarePlacement {
+		t.Fatalf("ParseCkptPolicyKind = %v, %v", k, err)
+	}
+	bd, err := match.Run(match.Config{
+		App:        "miniVite",
+		Design:     match.ReplicaFTI,
+		Procs:      16,
+		Nodes:      8,
+		Params:     match.Params{NVerts: 512, MaxIter: 25, WorkScale: 10, CkptStride: 5},
+		CkptPolicy: match.CkptPolicyConfig{Kind: match.ReplicaAwarePlacement},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.CkptAvoided == 0 {
+		t.Fatalf("replica-aware placement avoided nothing: %+v", bd)
+	}
+	if _, err := match.Run(match.Config{
+		App: "HPCCG", Procs: 8, Nodes: 4,
+		Params:     match.Params{NX: 4, NY: 4, NZ: 4, MaxIter: 4, WorkScale: 1},
+		CkptPolicy: match.CkptPolicyConfig{Kind: match.FixedPlacement, Stride: -1},
+	}); err == nil {
+		t.Fatal("facade accepted a negative placement stride")
+	}
+}
