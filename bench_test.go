@@ -17,6 +17,7 @@ import (
 
 	"match/internal/ckpt"
 	"match/internal/core"
+	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/mpi"
 	"match/internal/simnet"
@@ -178,6 +179,34 @@ func BenchmarkAblationCkptPolicy(b *testing.B) {
 				b.ReportMetric(bd.Total.Seconds(), "total_s")
 				b.ReportMetric(bd.Ckpt.Seconds(), "ckpt_s")
 				b.ReportMetric(float64(bd.CkptAvoided), "ckpt_avoided")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHotSpare measures what background respawn buys the
+// replica design on a repeat failure: the same double hit on one replica
+// group absorbed by the spare's failover (on) vs the checkpoint fallback
+// (off).
+func BenchmarkAblationHotSpare(b *testing.B) {
+	sched, err := fault.ParseSchedule("5@20:replica=1,5@45:replica=0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hs := range []bool{false, true} {
+		hs := hs
+		b.Run(map[bool]string{false: "off", true: "on"}[hs], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bd, err := core.Run(core.Config{
+					App: "HPCCG", Design: core.ReplicaFTI, Procs: 64,
+					Input: core.Small, Schedule: &sched, HotSpare: hs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(bd.Recovery.Seconds(), "recovery_s")
+				b.ReportMetric(bd.Total.Seconds(), "total_s")
+				b.ReportMetric(float64(bd.Respawns), "respawns")
 			}
 		})
 	}

@@ -10,6 +10,7 @@
 //	match -design replica -fault -detector ring -hb-period 50ms   # in-band detection
 //	match -ckpt-policy multi-level -ckpt-l2-every 3 -ckpt-l4-every 10
 //	match -design replica -fault -ckpt-policy replica-aware       # stretch while protected
+//	match -design replica -hot-spare -fault-schedule "3@20:replica=0,3@45:replica=1"
 //	match -list-designs
 package main
 
@@ -45,6 +46,9 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions to average (the paper used 5)")
 	dupDegree := flag.Int("dup-degree", 0, "replica design: replicas per protected rank (default 2)")
 	replicaFactor := flag.Float64("replica-factor", 0, "replica design: fraction of ranks replicated (default 1; <1 = partial replication)")
+	hotSpare := flag.Bool("hot-spare", false, "replica design: respawn a fresh shadow in the background after a failover, restoring the group to full degree")
+	spawnDelay := flag.Duration("spawn-delay", 0, "hot-spare: dynamic-process-spawn cost before the state transfer (0 = default 250ms)")
+	spawnBW := flag.Float64("spawn-bw", 0, "hot-spare: state-clone serialization bandwidth in bytes/s (0 = default 8e9)")
 	ckptPolicy := flag.String("ckpt-policy", "fixed", "checkpoint-placement policy: fixed, multi-level, replica-aware, adaptive, never")
 	ckptL2 := flag.Int("ckpt-l2-every", 0, "multi-level placement: escalate every Nth checkpoint to L2 (0 = policy default)")
 	ckptL3 := flag.Int("ckpt-l3-every", 0, "multi-level placement: escalate every Nth checkpoint to L3 (0 = off)")
@@ -89,6 +93,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-replica-factor %g invalid (want 0 < f <= 1, or 0 for the default)\n", *replicaFactor)
 		os.Exit(2)
 	}
+	// The spawn knobs are validated at flag-parse time (matching the
+	// -stride fix): an explicit bad value must error, not silently fall
+	// back to the calibrated default inside the replica runtime.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["spawn-delay"] && *spawnDelay <= 0 {
+		fmt.Fprintf(os.Stderr, "-spawn-delay %v invalid (want > 0; omit the flag for the calibrated 250ms default)\n", *spawnDelay)
+		os.Exit(2)
+	}
+	if set["spawn-bw"] && *spawnBW <= 0 {
+		fmt.Fprintf(os.Stderr, "-spawn-bw %g invalid (want > 0 bytes/s; omit the flag for the 8e9 default)\n", *spawnBW)
+		os.Exit(2)
+	}
+	if (set["spawn-delay"] || set["spawn-bw"]) && !*hotSpare {
+		fmt.Fprintln(os.Stderr, "-spawn-delay/-spawn-bw only apply with -hot-spare")
+		os.Exit(2)
+	}
 	dkind, err := detect.ParseKind(*detector)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -129,9 +150,12 @@ func main() {
 		FTILevel:    fti.Level(*level),
 		CkptStride:  *stride,
 		CkptPolicy:  pcfg,
+		HotSpare:    *hotSpare,
 		Replica: replica.Config{
-			DupDegree:     *dupDegree,
-			ReplicaFactor: *replicaFactor,
+			DupDegree:      *dupDegree,
+			ReplicaFactor:  *replicaFactor,
+			SpawnDelay:     simnet.Time(spawnDelay.Nanoseconds()),
+			SpawnBandwidth: *spawnBW,
 		},
 		// Resolved now (for explicit kinds) so the report shows the actual
 		// derived values; Preset stays zero and core resolves it per design.
@@ -157,6 +181,10 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Design = d
+	if *hotSpare && d != core.ReplicaFTI {
+		fmt.Fprintf(os.Stderr, "-hot-spare only applies to -design replica (got %s)\n", d.ShortName())
+		os.Exit(2)
+	}
 	switch strings.ToLower(*input) {
 	case "small":
 		cfg.Input = core.Small
@@ -198,6 +226,10 @@ func main() {
 	resolved, _ := core.ResolvedDetector(cfg) // Run already validated it
 	fmt.Printf("  detection       %10.3f s  (detector %s)\n",
 		bd.DetectLatency.Seconds(), resolved)
+	if *hotSpare {
+		fmt.Printf("  hot spare       %10.3f s  (%d respawns, background)\n",
+			bd.SpawnTime.Seconds(), bd.Respawns)
+	}
 	fmt.Printf("  total           %10.3f s\n", bd.Total.Seconds())
 	fmt.Printf("  signature       %g\n", bd.Signature)
 	fmt.Printf("  traffic         %d messages, %d bytes\n", bd.Messages, bd.NetBytes)

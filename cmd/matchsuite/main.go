@@ -14,6 +14,7 @@
 //	matchsuite -campaign -detector ring -hb-period 50ms,150ms   # detection-axis sweep
 //	matchsuite -campaign -ckpt-policy fixed,replica-aware,adaptive   # placement-axis sweep
 //	matchsuite -replica-sweep 0,0.25,0.5,1.0   # PartRePer overhead-vs-ReplicaFactor curve
+//	matchsuite -hot-spare-sweep -max-faults 2   # respawn axis: crossover per hot-spare variant
 package main
 
 import (
@@ -55,6 +56,7 @@ func main() {
 	ckptStretch := flag.Int("ckpt-stretch", 0, "replica-aware placement: stride multiplier while every rank is replica-protected (0 = default 4)")
 	ckptSkip := flag.Bool("ckpt-skip-protected", false, "replica-aware placement: skip checkpoints entirely while protected")
 	replicaSweep := flag.String("replica-sweep", "", "campaign the replica design over these ReplicaFactors (e.g. 0,0.25,0.5,1.0; 0 = replication off) and print the combined overhead-vs-ReplicaFactor curve")
+	hotSpareSweep := flag.Bool("hot-spare-sweep", false, "campaign the replica design with hot-spare respawn off and on and print the Replica-vs-Reinit crossover per variant")
 	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
 	flag.Parse()
 
@@ -74,6 +76,16 @@ func main() {
 				os.Exit(2)
 			}
 			factors = append(factors, f)
+		}
+		*campaign = true
+	}
+	// The hot-spare sweep is a campaign over the respawn axis; it needs
+	// the unreplicated designs as comparison, so it cannot combine with
+	// -replica-sweep (which restricts the matrix to the replica design).
+	if *hotSpareSweep {
+		if *replicaSweep != "" {
+			fmt.Fprintln(os.Stderr, "-hot-spare-sweep and -replica-sweep are mutually exclusive")
+			os.Exit(2)
 		}
 		*campaign = true
 	}
@@ -222,6 +234,9 @@ func main() {
 			ReplicaFactors: factors,
 			ModelIngress:   *modelIngress,
 		}
+		if *hotSpareSweep {
+			copts.HotSpares = []bool{false, true}
+		}
 		results, err := core.RunCampaign(copts, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -230,9 +245,20 @@ func main() {
 		if len(detectors) > 0 {
 			core.WriteDetectionTradeoff(os.Stdout, core.ComputeDetectionTradeoff(results))
 		}
-		if len(factors) > 0 {
+		switch {
+		case len(factors) > 0:
 			core.WriteReplicaTradeoff(os.Stdout, core.ComputeReplicaTradeoff(results))
-		} else {
+		case *hotSpareSweep:
+			off, on, swept := core.HotSpareCrossovers(results)
+			if swept {
+				fmt.Println("-- hot-spare off --")
+				off.Write(os.Stdout)
+				fmt.Println("-- hot-spare on --")
+				on.Write(os.Stdout)
+			} else {
+				core.ComputeCrossover(results).Write(os.Stdout)
+			}
+		default:
 			core.ComputeCrossover(results).Write(os.Stdout)
 		}
 		writeCSV(*csvPath, results)

@@ -46,6 +46,15 @@ type CampaignOptions struct {
 	// means nothing elsewhere — and the results feed
 	// ComputeReplicaTradeoff's combined overhead-vs-ReplicaFactor curve.
 	ReplicaFactors []float64
+	// HotSpares adds the respawn axis: every entry runs the replica
+	// design's cells with hot-spare respawn on or off (the other designs
+	// have no respawn and run each cell once). Sweeping {false, true}
+	// measures what background respawn buys a degraded group — both the
+	// fallbacks it converts into failovers and, combined with the
+	// replica-aware placement policy, the stretched checkpoint strides it
+	// restores once a spare brings a group back to full degree. Empty
+	// keeps hot-spare off everywhere (the calibrated behavior).
+	HotSpares []bool
 	// ModelIngress switches receiver-NIC serialization on for every run.
 	ModelIngress bool
 	// Workers bounds the sweep worker pool; 0 means GOMAXPROCS. Campaign
@@ -82,6 +91,9 @@ func (o *CampaignOptions) fill() {
 	if len(o.ReplicaFactors) > 0 {
 		o.Designs = []Design{ReplicaFTI}
 	}
+	if len(o.HotSpares) == 0 {
+		o.HotSpares = []bool{false}
+	}
 }
 
 // CampaignConfigs enumerates the campaign run matrix: app x k x design,
@@ -101,26 +113,50 @@ func CampaignConfigs(opts CampaignOptions) []Config {
 				for _, rf := range factors {
 					for k := 0; k <= opts.MaxFaults; k++ {
 						for _, d := range opts.Designs {
-							cfg := Config{
-								App:          app,
-								Design:       d,
-								Procs:        opts.Procs,
-								Input:        opts.Input,
-								InjectFault:  k > 0,
-								Faults:       k,
-								FaultSeed:    opts.Seed,
-								Detector:     dc,
-								CkptPolicy:   pc,
-								ModelIngress: opts.ModelIngress,
+							// Respawn is a replica-only axis: the other
+							// designs run each cell exactly once, whatever
+							// the swept variant list contains.
+							variants := []bool{false}
+							if d == ReplicaFTI {
+								variants = dedupeBools(opts.HotSpares)
 							}
-							if rf >= 0 {
-								cfg.Replica = replicaConfigFor(rf)
+							for _, hs := range variants {
+								cfg := Config{
+									App:          app,
+									Design:       d,
+									Procs:        opts.Procs,
+									Input:        opts.Input,
+									InjectFault:  k > 0,
+									Faults:       k,
+									FaultSeed:    opts.Seed,
+									Detector:     dc,
+									CkptPolicy:   pc,
+									HotSpare:     hs,
+									ModelIngress: opts.ModelIngress,
+								}
+								if rf >= 0 {
+									cfg.Replica = replicaConfigFor(rf)
+								}
+								out = append(out, cfg)
 							}
-							out = append(out, cfg)
 						}
 					}
 				}
 			}
+		}
+	}
+	return out
+}
+
+// dedupeBools keeps the first occurrence of each variant, in order, so a
+// repeated axis entry cannot duplicate campaign cells.
+func dedupeBools(vs []bool) []bool {
+	var out []bool
+	seen := map[bool]bool{}
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
 		}
 	}
 	return out
@@ -151,6 +187,13 @@ func ReplicaFactorOf(c Config) float64 {
 	return 1
 }
 
+// HotSpareOf reports whether a configuration runs with hot-spare respawn:
+// true only for the replica design (the knob means nothing elsewhere) with
+// either the harness-level or the replica-level switch set.
+func HotSpareOf(c Config) bool {
+	return c.Design == ReplicaFTI && (c.HotSpare || c.Replica.HotSpare)
+}
+
 // RunCampaign executes the campaign matrix on the sweep worker pool,
 // writes the per-app tables (recovery time and total overhead vs failure
 // count, per design) to w, and returns the raw results.
@@ -175,7 +218,7 @@ func WriteCampaign(w io.Writer, results []Result) {
 	byApp := map[string][]Result{}
 	var apps []string
 	base := map[string]baseTotal{}
-	detectorSweep, policySweep, factorSweep := false, false, false
+	detectorSweep, policySweep, factorSweep, spareSweep := false, false, false, false
 	for _, r := range results {
 		if _, ok := byApp[r.Config.App]; !ok {
 			apps = append(apps, r.Config.App)
@@ -192,6 +235,9 @@ func WriteCampaign(w io.Writer, results []Result) {
 		}
 		if r.Config.Design == ReplicaFTI && ReplicaFactorOf(r.Config) != 1 {
 			factorSweep = true
+		}
+		if HotSpareOf(r.Config) {
+			spareSweep = true
 		}
 	}
 	sort.Strings(apps)
@@ -210,6 +256,9 @@ func WriteCampaign(w io.Writer, results []Result) {
 			if a, b := rs[i].Config.CkptPolicy.String(), rs[j].Config.CkptPolicy.String(); a != b {
 				return a < b
 			}
+			if a, b := HotSpareOf(rs[i].Config), HotSpareOf(rs[j].Config); a != b {
+				return !a // hot-spare off sorts first (the baseline)
+			}
 			return rs[i].Config.Detector.String() < rs[j].Config.Detector.String()
 		})
 		fmt.Fprintf(w, "\n-- %s --\n", app)
@@ -222,6 +271,9 @@ func WriteCampaign(w io.Writer, results []Result) {
 		}
 		if factorSweep {
 			fmt.Fprintf(w, " %8s", "rfactor")
+		}
+		if spareSweep {
+			fmt.Fprintf(w, " %9s %8s", "hot-spare", "respawns")
 		}
 		fmt.Fprintf(w, " %10s %12s", "recovered", "recovery(s)")
 		if detectorSweep {
@@ -248,6 +300,13 @@ func WriteCampaign(w io.Writer, results []Result) {
 			if factorSweep {
 				fmt.Fprintf(w, " %8.2f", ReplicaFactorOf(r.Config))
 			}
+			if spareSweep {
+				hs := "off"
+				if HotSpareOf(r.Config) {
+					hs = "on"
+				}
+				fmt.Fprintf(w, " %9s %8d", hs, bd.Respawns)
+			}
 			fmt.Fprintf(w, " %10d %12.3f", bd.Recoveries, bd.Recovery.Seconds())
 			if detectorSweep {
 				fmt.Fprintf(w, " %10.3f", bd.DetectLatency.Seconds())
@@ -265,8 +324,8 @@ type baseTotal struct {
 }
 
 func baselineKey(c Config) string {
-	return fmt.Sprintf("%s/%s/p%d/%s/%s/%s/rf%g", c.App, c.Design, c.Procs, c.Input,
-		c.Detector, c.CkptPolicy, ReplicaFactorOf(c))
+	return fmt.Sprintf("%s/%s/p%d/%s/%s/%s/rf%g/hs%t", c.App, c.Design, c.Procs, c.Input,
+		c.Detector, c.CkptPolicy, ReplicaFactorOf(c), HotSpareOf(c))
 }
 
 // DetectionTradeoff is one point of the detection-vs-interference curve: a

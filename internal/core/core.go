@@ -160,6 +160,17 @@ type Config struct {
 	// calibrated timings slightly.
 	ModelIngress bool
 
+	// HotSpare enables FTHP-MPI-style background respawn for the replica
+	// design: after a failover degrades a replica group, a fresh shadow is
+	// spawned in the background (replica.Config.SpawnDelay plus a state
+	// transfer sized by the rank's live FTI-protected footprint) and, once
+	// live, restores the group to full degree — so the group absorbs a
+	// second failure by failover, falling back to checkpoints only when
+	// the second hit lands inside the respawn window. Ignored by the other
+	// designs. Equivalent to setting Replica.HotSpare; spawn-cost knobs
+	// live on Config.Replica.
+	HotSpare bool
+
 	// Overrides for ablation studies; zero values select the calibrated
 	// defaults.
 	Ulfm    ulfm.Config
@@ -232,6 +243,12 @@ type Breakdown struct {
 	CkptAvoided int
 	Messages    int64
 	NetBytes    int64
+	// Respawns counts the hot spares that went live during the run (zero
+	// unless Config.HotSpare); SpawnTime sums their spawn latency (dynamic
+	// spawn plus state transfer). Spawning happens in the background, so
+	// SpawnTime is a resource metric, not a component of Total.
+	Respawns  int
+	SpawnTime simnet.Time
 }
 
 // recorder accumulates per-rank results across job incarnations.
@@ -243,7 +260,12 @@ type recorder struct {
 	ckptBytes   int64
 	ckptCountAt [5]int
 	ckptBytesAt [5]int64
-	errs        []error
+	// liveFTI holds each rank's most recent FTI instance; the hot-spare
+	// runtime sizes its state transfers from the instance's live protected
+	// footprint (all replicas of a rank register identical objects, so any
+	// instance answers for the rank).
+	liveFTI map[int]*fti.FTI
+	errs    []error
 }
 
 func newRecorder() *recorder {
@@ -251,6 +273,7 @@ func newRecorder() *recorder {
 		sigs:     make(map[int]float64),
 		finish:   make(map[int]simnet.Time),
 		ckptTime: make(map[int]simnet.Time),
+		liveFTI:  make(map[int]*fti.FTI),
 	}
 }
 
@@ -370,6 +393,7 @@ func Run(cfg Config) (Breakdown, error) {
 			return ferr
 		}
 		rank := r.Rank(world)
+		rec.liveFTI[rank] = f
 		defer func() { record(rank, f.Stats) }()
 		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params,
 			Ckpt: planner.Policy()}
@@ -589,6 +613,15 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	planner *ckpt.Planner, scale float64, bd *Breakdown) error {
 	rcfg := cfg.Replica
 	rcfg.OnLaunch = func(j *mpi.Job) { j.BytesScale = scale }
+	rcfg.HotSpare = rcfg.HotSpare || cfg.HotSpare
+	// Hot-spare state transfers are sized by the rank's live protected
+	// footprint (the data a survivor actually clones onto the spare).
+	rcfg.StateBytes = func(rank int) int64 {
+		if f := rec.liveFTI[rank]; f != nil {
+			return f.ProtectedBytes()
+		}
+		return 0
+	}
 	// All replicas of a rank run the identical checkpoints, so their FTI
 	// stats must be deduplicated, not summed: per incarnation and rank,
 	// keep the stats of the replica that got furthest (the one that
@@ -612,9 +645,16 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 		}
 	})
 	inj.Recoveries = func() int { return len(sup.Recoveries) }
+	// A fired kill is absorbed — the executing victim survives as its
+	// lockstep spare — when the rank has a live hot spare; a kill inside
+	// the respawn window falls through to the normal death and exhausts
+	// the group.
+	inj.Redirect = func(r *mpi.Rank, comm *mpi.Comm, _ fault.Event) bool {
+		return sup.AbsorbFailure(r, comm)
+	}
 	// The planner re-arms on fallback relaunches and, through the live
 	// degree feed, lets the replica-aware policy see a group degrade the
-	// moment a failover prunes it.
+	// moment a failover prunes it — and recover once a spare goes live.
 	planner.Epoch = inj.Recoveries
 	planner.Degree = sup.MinLiveDegree
 	cluster.Run()
@@ -628,6 +668,8 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	}
 	bd.Recoveries = len(sup.Recoveries)
 	bd.DetectLatency, bd.DetectedFailures = detect.Totals(sup.Detectors...)
+	bd.Respawns = sup.Respawns()
+	bd.SpawnTime = sup.SpawnTime()
 	for _, j := range sup.Jobs {
 		bd.Messages += j.Stats.Messages
 		bd.NetBytes += j.Stats.Bytes

@@ -113,16 +113,19 @@ func ComputeCrossover(results []Result) Crossover {
 		detector, policy string
 		dup              int
 		rfactor          float64
+		hotSpare         bool
 	}
 	rec := map[cell]map[Design]Breakdown{}
 	var order []cell // first-seen order: deterministic float summation
 	for _, r := range results {
 		// The replica knobs are keyed raw (not via ReplicaFactorOf, which
 		// is design-dependent) so every design of one sweep point shares a
-		// cell.
+		// cell. Hot-spare, being replica-only, is keyed effective: a sweep
+		// of both variants must not overwrite the replica breakdown, and
+		// the on-variant cells are compared via HotSpareCrossovers.
 		c := cell{r.Config.App, r.Config.Input.String(), r.Config.Procs, r.Config.FaultCount(),
 			r.Config.Detector.String(), r.Config.CkptPolicy.String(),
-			r.Config.Replica.DupDegree, r.Config.Replica.ReplicaFactor}
+			r.Config.Replica.DupDegree, r.Config.Replica.ReplicaFactor, HotSpareOf(r.Config)}
 		if rec[c] == nil {
 			rec[c] = map[Design]Breakdown{}
 			order = append(order, c)
@@ -164,6 +167,46 @@ func ComputeCrossover(results []Result) Crossover {
 		}
 	}
 	return cr
+}
+
+// HotSpareCrossovers splits a campaign that swept the respawn axis
+// (CampaignOptions.HotSpares) into one Replica-vs-Reinit crossover per
+// hot-spare variant: the replica design's cells of that variant, compared
+// against the shared unreplicated designs. The on-variant shows where
+// background respawn moves the crossover — each spare that absorbs a
+// repeat hit converts a checkpoint rollback into a failover, and, under
+// replica-aware placement, restores the stretched checkpoint stride.
+// swept is false when the results hold only one variant (plain campaigns);
+// callers then fall back to the single ComputeCrossover.
+func HotSpareCrossovers(results []Result) (off, on Crossover, swept bool) {
+	haveOff, haveOn := false, false
+	for _, r := range results {
+		if r.Config.Design != ReplicaFTI {
+			continue
+		}
+		if HotSpareOf(r.Config) {
+			haveOn = true
+		} else {
+			haveOff = true
+		}
+	}
+	if !haveOff || !haveOn {
+		return Crossover{}, Crossover{}, false
+	}
+	variant := func(want bool) []Result {
+		var out []Result
+		for _, r := range results {
+			if r.Config.Design != ReplicaFTI || HotSpareOf(r.Config) == want {
+				// Neutralize the flag so the variant's replica cells land in
+				// the same crossover cells as the shared unreplicated runs.
+				r.Config.HotSpare = false
+				r.Config.Replica.HotSpare = false
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return ComputeCrossover(variant(false)), ComputeCrossover(variant(true)), true
 }
 
 // Write renders the crossover table.

@@ -63,6 +63,8 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 		acc.CkptAvoided += bd.CkptAvoided
 		acc.Messages += bd.Messages
 		acc.NetBytes += bd.NetBytes
+		acc.Respawns += bd.Respawns
+		acc.SpawnTime += bd.SpawnTime
 	}
 	n := simnet.Time(reps)
 	acc.Total /= n
@@ -82,6 +84,8 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	acc.CkptAvoided = int(divRound(int64(acc.CkptAvoided), reps))
 	acc.Messages = divRound(acc.Messages, reps)
 	acc.NetBytes = divRound(acc.NetBytes, reps)
+	acc.Respawns = int(divRound(int64(acc.Respawns), reps))
+	acc.SpawnTime /= n
 	acc.Signature = results[0].Breakdown.Signature
 	return acc, results, nil
 }
@@ -335,20 +339,27 @@ func WriteFigure(w io.Writer, fig int, results []Result) {
 
 // WriteCSV emits results as CSV for external plotting. The faults column
 // is the scheduled failure count of the configuration (campaign sweeps
-// vary it; the paper's figures have it at 0 or 1); ckpt_policy and
-// rfactor label the placement and replication axes; the ckpt_l* columns
-// split the checkpoint count by FTI level and ckpt_avoided counts the
-// checkpoints the placement policy skipped relative to fixed placement.
+// vary it; the paper's figures have it at 0 or 1); ckpt_policy, rfactor,
+// and hot_spare label the placement, replication, and respawn axes; the
+// ckpt_l* columns split the checkpoint count by FTI level, ckpt_avoided
+// counts the checkpoints the placement policy skipped relative to fixed
+// placement, and respawns/spawn_s report the hot spares that went live
+// and their summed spawn latency.
 func WriteCSV(w io.Writer, results []Result) {
-	fmt.Fprintln(w, "app,design,procs,input,faults,detector,ckpt_policy,rfactor,app_s,ckpt_s,recovery_s,detect_s,total_s,recoveries,ckpts,ckpt_l1,ckpt_l2,ckpt_l3,ckpt_l4,ckpt_avoided,messages,net_bytes")
+	fmt.Fprintln(w, "app,design,procs,input,faults,detector,ckpt_policy,rfactor,hot_spare,app_s,ckpt_s,recovery_s,detect_s,total_s,recoveries,respawns,spawn_s,ckpts,ckpt_l1,ckpt_l2,ckpt_l3,ckpt_l4,ckpt_avoided,messages,net_bytes")
 	for _, r := range results {
 		bd := r.Breakdown
-		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%s,%s,%g,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		hs := 0
+		if HotSpareOf(r.Config) {
+			hs = 1
+		}
+		fmt.Fprintf(w, "%s,%s,%d,%s,%d,%s,%s,%g,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Config.App, r.Config.Design, r.Config.Procs, r.Config.Input,
 			r.Config.FaultCount(), csvField(r.Config.Detector.String()),
-			csvField(r.Config.CkptPolicy.String()), ReplicaFactorOf(r.Config),
+			csvField(r.Config.CkptPolicy.String()), ReplicaFactorOf(r.Config), hs,
 			bd.App.Seconds(), bd.Ckpt.Seconds(),
 			bd.Recovery.Seconds(), bd.DetectLatency.Seconds(), bd.Total.Seconds(), bd.Recoveries,
+			bd.Respawns, bd.SpawnTime.Seconds(),
 			bd.CkptCount, bd.CkptCountAt[1], bd.CkptCountAt[2], bd.CkptCountAt[3], bd.CkptCountAt[4],
 			bd.CkptAvoided, bd.Messages, bd.NetBytes)
 	}

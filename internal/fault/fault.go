@@ -323,6 +323,13 @@ type Injector struct {
 	// it reaches their threshold. The harness points this at the active
 	// design's recovery log. When nil, such events never fire.
 	Recoveries func() int
+	// Redirect, when set, is consulted as a fired process-failure event is
+	// about to destroy the executing process. Returning true means the
+	// runtime absorbed the failure at the process boundary — a live hot
+	// spare in lockstep took over the victim's identity — and execution
+	// continues; the event still counts as injected. Node failures are
+	// never redirected (the spare cannot resurrect a dead node's executor).
+	Redirect func(r *mpi.Rank, comm *mpi.Comm, ev Event) bool
 
 	fired  []bool
 	nfired int
@@ -396,6 +403,8 @@ func (in *Injector) fire(i int, ev Event, r *mpi.Rank, comm *mpi.Comm) {
 		// The node takes down its other residents via a scheduler event;
 		// this rank dies immediately.
 		cl.Scheduler().After(0, func() { cl.FailNode(node) })
+	} else if in.Redirect != nil && in.Redirect(r, comm, ev) {
+		return // absorbed: a lockstep twin took over the victim's identity
 	}
 	r.Die()
 }

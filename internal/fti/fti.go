@@ -175,8 +175,26 @@ func Init(cfg Config, r *mpi.Rank, comm *mpi.Comm, st *storage.System) (*FTI, er
 		return nil, fmt.Errorf("fti: init agreement: %w", err)
 	}
 	if agreed >= 0 {
-		f.latest, f.latestLevel = unpackMeta(agreed)
-		f.status = StatusRestart
+		// The agreed id is only restorable when it is *every* rank's newest
+		// commit: commits are collective and garbage-collect what they
+		// supersede, so a rank pinned behind the commit front — stale
+		// metadata left on a dead replica's node, say, after a relaunch put
+		// a fresh rank there — names files its peers have already deleted.
+		// One more tiny agreement verifies the front is uniform; a split
+		// front means no common checkpoint survives, and the job restarts
+		// fresh instead of dying on a gc'd id.
+		ok := int64(0)
+		if agreed == mine {
+			ok = 1
+		}
+		uniform, err := mpi.AllreduceI64Scalar(r, comm, ok, mpi.OpMin)
+		if err != nil {
+			return nil, fmt.Errorf("fti: init verification: %w", err)
+		}
+		if uniform == 1 {
+			f.latest, f.latestLevel = unpackMeta(agreed)
+			f.status = StatusRestart
+		}
 	}
 	return f, nil
 }
@@ -240,6 +258,18 @@ func (f *FTI) Protect(id int, obj Protected) {
 
 // Status reports whether this execution is a restart, like FTI_Status().
 func (f *FTI) Status() Status { return f.status }
+
+// ProtectedBytes reports the current serialized size of every registered
+// data object — the rank's live protected footprint. The hot-spare runtime
+// uses it as the state-transfer volume when cloning a survivor onto a
+// freshly spawned replica.
+func (f *FTI) ProtectedBytes() int64 {
+	var n int64
+	for _, e := range f.objs {
+		n += int64(len(e.obj.Snapshot()))
+	}
+	return n
+}
 
 // LatestCheckpoint returns the id of the newest committed checkpoint, or -1.
 func (f *FTI) LatestCheckpoint() int64 { return f.latest }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"match/internal/enc"
 	"match/internal/mpi"
 	"match/internal/simnet"
 	"match/internal/storage"
@@ -733,4 +734,55 @@ func TestL2EscalationSurvivesNodeFailureUnderL1Base(t *testing.T) {
 	})
 	_ = j4
 	c2.Run()
+}
+
+// A node holding stale metadata — a dead replica's last commit, with the
+// rest of the job long past it — must not drag the init agreement down to
+// a checkpoint id the other ranks have garbage-collected. The split commit
+// front is detected and the job restarts fresh instead of failing on a
+// gc'd checkpoint.
+func TestInitRejectsStaleMetadataBehindCommitFront(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	st := storage.New(c, storage.Config{})
+	// Phase 1: two ranks on nodes 0,1 commit ckpt 1 then ckpt 2 (gc'ing 1).
+	j1 := mpi.Launch(c, 2, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, _ := Init(Config{ExecID: "stale"}, r, w, st)
+		x := r.Rank(w)
+		f.Protect(0, Int{&x})
+		if err := f.Checkpoint(1); err != nil {
+			t.Errorf("ckpt 1: %v", err)
+		}
+		if err := f.Checkpoint(2); err != nil {
+			t.Errorf("ckpt 2: %v", err)
+		}
+	})
+	c.Run()
+	_ = j1
+	// Plant a stale epoch on node 2: metadata (and payload) for ckpt 1,
+	// as a replica that died before the ckpt-2 commit would leave behind.
+	stale := enc.AppendInt64(nil, packMeta(1, L1))
+	if err := st.WriteFree(storage.RAMFS, 2, "fti/stale/r00000/meta", stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteFree(storage.RAMFS, 2, "fti/stale/r00000/ckpt1", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: rank 0 relaunches on the stale node. Without the front
+	// check the agreement picks ckpt 1, which node 1 has gc'd — and rank 1
+	// dies inside Recover. With it, both ranks agree the front is split
+	// and restart fresh.
+	j2 := mpi.LaunchPlaced(c, []int{2, 1}, 0, func(r *mpi.Rank) {
+		w := r.Job().World()
+		f, err := Init(Config{ExecID: "stale"}, r, w, st)
+		if err != nil {
+			t.Errorf("rank %d re-init: %v", r.Rank(w), err)
+			return
+		}
+		if f.Status() != StatusFresh {
+			t.Errorf("rank %d status %v, want fresh (no common restorable checkpoint)", r.Rank(w), f.Status())
+		}
+	})
+	_ = j2
+	c.Run()
 }

@@ -102,6 +102,30 @@ func (c *Comm) PruneReplica(gid int) {
 	}
 }
 
+// AddReplica joins a freshly spawned process to the logical rank's replica
+// group under the given stable replica index: senders start duplicating
+// every copy onto it immediately. The hot-spare runtime calls this once a
+// spare's state transfer completes; the spare then receives the same
+// sequenced stream as its twins, which is what keeps it in lockstep.
+func (c *Comm) AddReplica(rank int, p *Process, idx int) {
+	if c.repl == nil {
+		return
+	}
+	c.repl.groups[rank] = append(c.repl.groups[rank], p)
+	c.rankOf[p.gid] = rank
+	c.repl.idx[p.gid] = idx
+}
+
+// SetReplicaIndex reassigns a member's stable replica index. The
+// hot-spare runtime uses it during a takeover's identity swap: the
+// executing survivor carries on in the consumed spare's slot, so the
+// victim's slot is the one left empty for the next respawn to refill.
+func (c *Comm) SetReplicaIndex(gid, idx int) {
+	if c.repl != nil {
+		c.repl.idx[gid] = idx
+	}
+}
+
 // PromoteLeader points Member(rank) at the first surviving member of the
 // rank's group (leader election outcome). Matching and routing are
 // unaffected — only leadership-based reporting changes.

@@ -69,6 +69,36 @@ type Config struct {
 	RelaunchPerProc simnet.Time
 	// MaxRelaunches bounds fallback loops (default 8).
 	MaxRelaunches int
+
+	// HotSpare enables FTHP-MPI-style background respawn: after a failover
+	// degrades a replica group, the supervisor spawns a fresh shadow in the
+	// background (a ULFM-style dynamic spawn plus a state transfer cloned
+	// from the surviving replica's live memory) that restores the group to
+	// its configured degree. Once the spare is live the group can absorb
+	// another process failure by failover; a failure landing *inside* the
+	// respawn window still exhausts the group and takes the checkpoint
+	// fallback. Off by default, so degraded groups stay at degree 1 until
+	// job restart — the PartRePer-MPI behavior the calibrated numbers
+	// assume.
+	HotSpare bool
+	// SpawnDelay is the dynamic-process-spawn cost paid before the state
+	// transfer begins — MPI_Comm_spawn through the launcher plus wiring the
+	// new process into the runtime (default 250ms).
+	SpawnDelay simnet.Time
+	// SpawnBandwidth is the serialization rate of the survivor-to-spare
+	// state clone in bytes per second (default 8 GB/s, matching FTI's
+	// in-memory serialize rate). The wire leg of the transfer additionally
+	// pays NIC time through the cluster model — including ingress queueing
+	// at the spare's node when the cluster models it.
+	SpawnBandwidth float64
+	// StateBytes reports the live protected-state volume of a logical rank
+	// in bytes (the respawn transfer size, before BytesScale). The harness
+	// feeds it from the application's FTI-protected footprint; nil — or a
+	// zero return — falls back to SpawnStateBytes.
+	StateBytes func(rank int) int64
+	// SpawnStateBytes is the per-rank transfer volume used when no
+	// StateBytes feed is installed (default 16 MiB).
+	SpawnStateBytes int64
 	// Detect overrides the failure-detection strategy (ablation: the
 	// OCFTL-style in-band ring the ROADMAP calls for is -detector ring).
 	// The zero value keeps the instant launcher preset.
@@ -96,6 +126,9 @@ func DefaultConfig() Config {
 		RelaunchBase:    5 * simnet.Second,
 		RelaunchPerProc: 4 * simnet.Millisecond,
 		MaxRelaunches:   8,
+		SpawnDelay:      250 * simnet.Millisecond,
+		SpawnBandwidth:  8e9,
+		SpawnStateBytes: 16 << 20,
 	}
 }
 
@@ -130,6 +163,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxRelaunches == 0 {
 		c.MaxRelaunches = def.MaxRelaunches
+	}
+	if c.SpawnDelay == 0 {
+		c.SpawnDelay = def.SpawnDelay
+	}
+	if c.SpawnBandwidth == 0 {
+		c.SpawnBandwidth = def.SpawnBandwidth
+	}
+	if c.SpawnStateBytes == 0 {
+		c.SpawnStateBytes = def.SpawnStateBytes
 	}
 }
 
@@ -217,6 +259,27 @@ type Recovery struct {
 // Duration is the MPI recovery time for this event.
 func (r Recovery) Duration() simnet.Time { return r.CompletedAt - r.FailedAt }
 
+// Respawn records one hot-spare spawn: the background respawn scheduled
+// after a failover to restore the degraded group to its configured degree.
+type Respawn struct {
+	Rank    int // logical rank whose group is being refilled
+	Replica int // stable index of the replica slot being refilled
+	Node    int // node the spare lands on
+	// StartedAt is when the spawn was scheduled (the failover's membership
+	// update); LiveAt is when the state transfer finished and the spare
+	// began counting as protection (valid once Live).
+	StartedAt simnet.Time
+	LiveAt    simnet.Time
+	// Live is set once the spare finished its state transfer; Aborted is
+	// set when the incarnation ended (fallback teardown) or the rank
+	// completed before the spare went live.
+	Live    bool
+	Aborted bool
+}
+
+// Duration is the spawn latency: dynamic spawn plus state transfer.
+func (r Respawn) Duration() simnet.Time { return r.LiveAt - r.StartedAt }
+
 // Supervisor runs an n-rank job under replication: it launches the replica
 // groups, absorbs single-replica failures by failover, and relaunches the
 // job from checkpoints when a group is exhausted.
@@ -234,6 +297,9 @@ type Supervisor struct {
 	Detectors []detect.Detector
 	// Recoveries lists failovers and fallback relaunches in order.
 	Recoveries []Recovery
+	// RespawnLog lists every hot-spare spawn scheduled, in order (live,
+	// in-flight, and aborted alike). Empty unless Config.HotSpare is set.
+	RespawnLog []Respawn
 	// GaveUp is set when MaxRelaunches was exhausted.
 	GaveUp bool
 
@@ -244,6 +310,21 @@ type Supervisor struct {
 	// to (logical rank, replica index) for detector-driven recovery.
 	gidRank map[int]int
 	gidIdx  map[int]int
+	// spares tracks the current incarnation's hot spares by logical rank:
+	// the index into RespawnLog of the pending or live spawn, and — once
+	// live — the virtual member joined to the replica group.
+	spares map[int]*spare
+}
+
+// spare is one in-flight or live hot spare. The spare is a *virtual*
+// member: it holds a byte-identical clone of the survivor's state and
+// receives the same duplicated message stream, so it tracks the survivor
+// in lockstep, but it has no simulated process of its own — a takeover is
+// modeled as an identity swap with the executing survivor (see
+// AbsorbFailure).
+type spare struct {
+	log  int          // index into RespawnLog
+	proc *mpi.Process // nil until the state transfer completes
 }
 
 // Supervise launches n logical ranks under replication and returns the
@@ -289,13 +370,15 @@ func (s *Supervisor) Done() bool {
 // mid-teardown) as soon as any rank's state would not survive a process
 // failure: under partial replication from the start, or after a failover
 // degrades a group. Members that already exited successfully still count
-// as protection — a completed rank's state needs no checkpoint.
+// as protection — a completed rank's state needs no checkpoint. A virtual
+// hot spare counts only while its node is alive: a node failure destroys
+// the spare's cloned state even though no simulated process dies with it.
 func (s *Supervisor) MinLiveDegree() int {
 	min := s.cfg.DupDegree
 	for r := 0; r < s.layout.Procs; r++ {
 		n := 0
 		for _, m := range s.world.ReplicaGroup(r) {
-			if !m.Failed() {
+			if s.memberProtects(m) {
 				n++
 			}
 		}
@@ -304,6 +387,44 @@ func (s *Supervisor) MinLiveDegree() int {
 		}
 	}
 	return min
+}
+
+// memberProtects reports whether a group member still protects its rank's
+// state: any non-failed executing (or completed) member, or a virtual
+// spare whose node survives.
+func (s *Supervisor) memberProtects(m *mpi.Process) bool {
+	if m.Failed() {
+		return false
+	}
+	if m.SimProc() == nil { // virtual hot spare: state lives on its node
+		return s.cluster.Node(m.NodeID()).Alive()
+	}
+	return true
+}
+
+// Respawns counts the hot spares that completed their state transfer and
+// went live (restoring their group to its configured degree).
+func (s *Supervisor) Respawns() int {
+	n := 0
+	for _, r := range s.RespawnLog {
+		if r.Live {
+			n++
+		}
+	}
+	return n
+}
+
+// SpawnTime sums the spawn latency (dynamic spawn plus state transfer) of
+// every live respawn. Spawning happens in the background, so this is a
+// resource metric, not a component of the application's critical path.
+func (s *Supervisor) SpawnTime() simnet.Time {
+	var t simnet.Time
+	for _, r := range s.RespawnLog {
+		if r.Live {
+			t += r.Duration()
+		}
+	}
+	return t
 }
 
 // Failovers counts the rollback-free recoveries performed.
@@ -325,6 +446,7 @@ func (s *Supervisor) count(k RecoveryKind) int {
 // launch starts one physical incarnation of the whole replicated job.
 func (s *Supervisor) launch(delay simnet.Time) {
 	s.restarting = false
+	s.spares = make(map[int]*spare)
 	job := mpi.NewJob(s.cluster)
 	job.PerOpOverhead = s.cfg.PerOpOverhead
 	n := s.layout.Procs
@@ -414,12 +536,15 @@ func (s *Supervisor) onFailure(job *mpi.Job, world *mpi.Comm, f detect.Failure) 
 	}
 }
 
-// groupAlive reports whether any member of the rank's group is still
-// running.
+// groupAlive reports whether any *executing* member of the rank's group is
+// still running. Virtual hot spares (no simulated process of their own)
+// are excluded: a spare can only take over through the lockstep identity
+// swap of AbsorbFailure, so a group whose last executor died by any other
+// means — a node failure, say — is exhausted even if a spare is live.
 func (s *Supervisor) groupAlive(world *mpi.Comm, rank int) bool {
 	for _, m := range world.ReplicaGroup(rank) {
 		sp := m.SimProc()
-		if !m.Failed() && (sp == nil || !sp.Exited()) {
+		if !m.Failed() && sp != nil && !sp.Exited() {
 			return true
 		}
 	}
@@ -457,6 +582,12 @@ func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, f de
 		if job != s.CurrentJob() || job.Aborted() {
 			return
 		}
+		deadNode := -1
+		for _, m := range world.ReplicaGroup(rank) {
+			if m.GID() == f.GID {
+				deadNode = m.NodeID()
+			}
+		}
 		world.PruneReplica(f.GID)
 		world.PromoteLeader(rank)
 		// The global fault notification quiesces every surviving process
@@ -470,7 +601,191 @@ func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, f de
 				}
 			}
 		}
+		s.scheduleRespawn(job, world, rank, idx, deadNode)
 	})
+}
+
+// scheduleRespawn starts the background hot-spare spawn that refills the
+// replica slot a failover just emptied: a dynamic spawn (SpawnDelay), then
+// a state transfer cloning the surviving leader's live memory to the
+// spare's node over the network. The spare lands on the dead replica's
+// node when that node is still alive (a process failure leaves it free),
+// the next alive node otherwise.
+func (s *Supervisor) scheduleRespawn(job *mpi.Job, world *mpi.Comm, rank, idx, deadNode int) {
+	if !s.cfg.HotSpare || s.spares[rank] != nil {
+		return
+	}
+	live := 0
+	for _, m := range world.ReplicaGroup(rank) {
+		if !m.Failed() {
+			live++
+		}
+	}
+	if live == 0 || live >= s.layout.Degree[rank] {
+		return // exhausted (fallback owns it) or already at full degree
+	}
+	node := deadNode
+	if node < 0 {
+		node = s.layout.Nodes[rank][0]
+	}
+	for probe := 0; !s.cluster.Node(node).Alive() && probe < s.cluster.NumNodes(); probe++ {
+		node = (node + 1) % s.cluster.NumNodes()
+	}
+	start := s.cluster.Now()
+	s.RespawnLog = append(s.RespawnLog, Respawn{
+		Rank: rank, Replica: idx, Node: node, StartedAt: start,
+	})
+	sp := &spare{log: len(s.RespawnLog) - 1}
+	s.spares[rank] = sp
+	// Serialize the survivor's live state after the spawn completes, then
+	// put it on the wire; the transfer pays real NIC time (and ingress
+	// queueing at the spare, when modeled), so respawns interfere with
+	// application traffic the way FTHP-MPI's background clones do.
+	bytes := s.cfg.SpawnStateBytes
+	if s.cfg.StateBytes != nil {
+		if b := s.cfg.StateBytes(rank); b > 0 {
+			bytes = b
+		}
+	}
+	wire := bytes
+	if job.BytesScale > 1 {
+		wire = int64(float64(wire) * job.BytesScale)
+	}
+	serialize := simnet.Time(float64(wire) / s.cfg.SpawnBandwidth * 1e9)
+	s.cluster.Scheduler().After(s.cfg.SpawnDelay+serialize, func() {
+		if job != s.CurrentJob() || s.restarting || job.Aborted() {
+			s.abortRespawn(rank, sp)
+			return
+		}
+		src := world.Member(rank).NodeID()
+		liveAt := s.cluster.SendArrival(src, node, int(wire), s.cluster.Now())
+		s.cluster.Scheduler().At(liveAt, func() { s.goLive(job, world, rank, idx, node, sp) })
+	})
+}
+
+// goLive completes a respawn: the spare holds a byte-identical clone of
+// the survivor's state, joins the replica group as a virtual member —
+// senders start duplicating onto it, and MinLiveDegree sees the restored
+// protection — and from here on tracks the survivor in lockstep.
+func (s *Supervisor) goLive(job *mpi.Job, world *mpi.Comm, rank, idx, node int, sp *spare) {
+	if job != s.CurrentJob() || s.restarting || job.Aborted() ||
+		s.rankDone[rank] || !s.groupAlive(world, rank) ||
+		!s.cluster.Node(node).Alive() {
+		s.abortRespawn(rank, sp)
+		return
+	}
+	p := job.AddProcess(node, nil)
+	world.AddReplica(rank, p, idx)
+	s.gidRank[p.GID()] = rank
+	s.gidIdx[p.GID()] = idx
+	sp.proc = p
+	s.RespawnLog[sp.log].Live = true
+	s.RespawnLog[sp.log].LiveAt = s.cluster.Now()
+}
+
+// abortRespawn records that a spawn never went live (teardown beat it, or
+// the rank finished first) and frees the rank's spare slot.
+func (s *Supervisor) abortRespawn(rank int, sp *spare) {
+	s.RespawnLog[sp.log].Aborted = true
+	if s.spares[rank] == sp {
+		delete(s.spares, rank)
+	}
+}
+
+// AbsorbFailure is consulted at the instant a process failure is about to
+// destroy an executing replica (the fault injector's Redirect hook; tests
+// call it directly before Die). It returns true when a live hot spare
+// absorbed the failure: the spare — a lockstep clone of the victim — takes
+// over the victim's work, so the caller must NOT terminate the process.
+// Mechanically the takeover is an identity swap: the executing process
+// carries on as the promoted spare while the spare's virtual membership is
+// retired in the victim's place, which is observationally equivalent
+// because the two are byte-identical twins. The takeover costs one
+// detection+election quiesce, exactly like any other failover, and
+// schedules a fresh respawn to refill the slot that was consumed.
+func (s *Supervisor) AbsorbFailure(r *mpi.Rank, world *mpi.Comm) bool {
+	job := r.Job()
+	if !s.cfg.HotSpare || job != s.CurrentJob() || s.restarting || job.Aborted() {
+		return false
+	}
+	rank := r.Rank(world)
+	if rank < 0 {
+		return false
+	}
+	sp := s.spares[rank]
+	if sp == nil || sp.proc == nil || sp.proc.Failed() {
+		return false // no spare, or still inside the respawn window
+	}
+	if !s.cluster.Node(s.RespawnLog[sp.log].Node).Alive() {
+		// The spare's node died since it went live, taking the cloned
+		// state with it (no simulated process existed to die with the
+		// node): retire the spare and let the failure take its course.
+		job.MarkFailed(sp.proc.GID())
+		world.PruneReplica(sp.proc.GID())
+		delete(s.spares, rank)
+		return false
+	}
+	// With another executing twin alive the normal failover path is
+	// cheaper and keeps the spare in reserve; only the last executor
+	// needs the swap.
+	executing := 0
+	for _, m := range world.ReplicaGroup(rank) {
+		if p := m.SimProc(); !m.Failed() && p != nil && !p.Exited() {
+			executing++
+		}
+	}
+	if executing > 1 {
+		return false
+	}
+	victim := r.Process()
+	idx := s.gidIdx[victim.GID()]
+	now := r.Now()
+	// Under the launcher preset the daemons pay FailoverDetect to notice
+	// the death; an in-band detector would take its observation timeout.
+	// (The swap never kills a simulated process, so the detect subsystem
+	// does not see this failure; the latency is charged here instead.)
+	detected := now + s.cfg.FailoverDetect
+	if s.dcfg.Kind != detect.Launcher {
+		detected = now + s.dcfg.DetectTimeout
+	}
+	completed := detected + s.cfg.ElectionDelay
+	s.Recoveries = append(s.Recoveries, Recovery{
+		Kind: Failover, Rank: rank, Replica: idx,
+		FailedAt: now, DetectedAt: detected, CompletedAt: completed,
+	})
+	spareProc := sp.proc
+	spareNode := s.RespawnLog[sp.log].Node
+	delete(s.spares, rank)
+	job.MarkFailed(spareProc.GID())
+	// The executor carries on as the promoted spare, so it takes over the
+	// spare's stable slot; the victim's slot (idx) is the empty one the
+	// refill below fills. Without the swap the group would end up with two
+	// members in one slot and a vanished index that schedule events could
+	// never hit again.
+	spareIdx := s.gidIdx[spareProc.GID()]
+	s.gidIdx[victim.GID()] = spareIdx
+	world.SetReplicaIndex(victim.GID(), spareIdx)
+	s.cluster.Scheduler().At(completed, func() {
+		if job != s.CurrentJob() || job.Aborted() {
+			return
+		}
+		world.PruneReplica(spareProc.GID())
+		world.PromoteLeader(rank)
+		quiesce := completed - now
+		for rr := 0; rr < s.layout.Procs; rr++ {
+			for _, m := range world.ReplicaGroup(rr) {
+				if !m.Failed() {
+					job.Steal(m.GID(), quiesce)
+				}
+			}
+		}
+		// Refill the slot the takeover consumed; the spare's node is free
+		// again (the promoted twin executes on the victim's node — links
+		// between distinct nodes are identical, so the swap is timing-
+		// neutral).
+		s.scheduleRespawn(job, world, rank, idx, spareNode)
+	})
+	return true
 }
 
 // fallback is the checkpoint-only path: no copy of the rank's state

@@ -164,6 +164,219 @@ func TestSupervisorExhaustionFallsBackToRelaunch(t *testing.T) {
 	}
 }
 
+// hotSpareConfig keeps respawn windows short enough for the quick test
+// workloops (the calibrated 250ms SpawnDelay dwarfs a 40ms loop).
+func hotSpareConfig() Config {
+	return Config{HotSpare: true, SpawnDelay: simnet.Millisecond, SpawnStateBytes: 1 << 20}
+}
+
+// A failover under HotSpare must schedule a background respawn that
+// restores the degraded group to its configured degree.
+func TestHotSpareRespawnRestoresDegree(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	sup := Supervise(c, hotSpareConfig(), 4, workloop(t, 400, 2, 1, 3))
+	c.Run()
+	if !sup.Done() {
+		t.Fatal("not all logical ranks completed")
+	}
+	if sup.Failovers() != 1 || sup.Relaunches() != 0 {
+		t.Fatalf("failovers=%d relaunches=%d, want 1/0", sup.Failovers(), sup.Relaunches())
+	}
+	if sup.Respawns() != 1 {
+		t.Fatalf("respawns = %d, want 1", sup.Respawns())
+	}
+	rs := sup.RespawnLog[0]
+	if !rs.Live || rs.Aborted || rs.Rank != 2 || rs.Replica != 1 {
+		t.Fatalf("respawn record = %+v", rs)
+	}
+	if rs.Duration() <= simnet.Millisecond {
+		t.Fatalf("spawn duration %v does not cover SpawnDelay + state transfer", rs.Duration())
+	}
+	if sup.SpawnTime() != rs.Duration() {
+		t.Fatalf("SpawnTime() = %v, want %v", sup.SpawnTime(), rs.Duration())
+	}
+	// The spare joined the group: protection is back at full degree.
+	if d := sup.World().ReplicaDegree(2); d != 2 {
+		t.Fatalf("group degree after respawn = %d, want 2", d)
+	}
+	if got := sup.MinLiveDegree(); got != 2 {
+		t.Fatalf("MinLiveDegree after respawn = %d, want 2", got)
+	}
+}
+
+// A second failure on the same rank, landing after the spare went live,
+// must be absorbed by failover — not the checkpoint fallback.
+func TestHotSpareAbsorbsSecondFailure(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	var sup *Supervisor
+	sup = Supervise(c, hotSpareConfig(), 4, func(r *mpi.Rank, world *mpi.Comm, idx int) {
+		rank := r.Rank(world)
+		for it := 0; it < 800; it++ {
+			if it == 3 && rank == 2 && idx == 1 {
+				r.Die()
+			}
+			if it == 350 && rank == 2 {
+				// Second hit on the surviving replica, well past the
+				// respawn window: the live spare absorbs it.
+				if !sup.AbsorbFailure(r, world) {
+					r.Die()
+				}
+			}
+			r.Compute(100 * simnet.Microsecond)
+			if _, err := mpi.AllreduceF64Scalar(r, world, 1, mpi.OpSum); err != nil {
+				t.Errorf("rank %d replica %d iter %d: %v", rank, idx, it, err)
+				return
+			}
+		}
+	})
+	c.Run()
+	if !sup.Done() {
+		t.Fatal("not all logical ranks completed")
+	}
+	if sup.Failovers() != 2 || sup.Relaunches() != 0 {
+		t.Fatalf("failovers=%d relaunches=%d, want 2/0 (spare takeover must not fall back)",
+			sup.Failovers(), sup.Relaunches())
+	}
+	second := sup.Recoveries[1]
+	if second.Kind != Failover || second.Rank != 2 || second.Replica != 0 {
+		t.Fatalf("second recovery = %+v, want failover of rank 2 replica 0", second)
+	}
+	want := DefaultConfig().FailoverDetect + DefaultConfig().ElectionDelay
+	if second.Duration() != want {
+		t.Fatalf("takeover duration %v, want detect+election %v", second.Duration(), want)
+	}
+	// The takeover consumed the spare and scheduled a replacement.
+	if len(sup.RespawnLog) != 2 {
+		t.Fatalf("respawn log = %+v, want 2 spawns (initial + refill)", sup.RespawnLog)
+	}
+	// Identity swap bookkeeping: the executor carried on in the consumed
+	// spare's slot (1, the slot of the first death), and the refill spare
+	// occupies the takeover victim's slot (0) — every stable index exists
+	// exactly once, so later schedule events can still target both slots.
+	world := sup.World()
+	if got := world.ReplicaIndexOf(world.Member(2).GID()); got != 1 {
+		t.Fatalf("promoted executor occupies slot %d, want 1 (the consumed spare's)", got)
+	}
+	idx := map[int]int{}
+	for _, m := range world.ReplicaGroup(2) {
+		idx[world.ReplicaIndexOf(m.GID())]++
+	}
+	if idx[0] != 1 || idx[1] != 1 {
+		t.Fatalf("slot occupancy = %v, want exactly one member per slot", idx)
+	}
+}
+
+// A node failure destroys a live spare's cloned state even though no
+// simulated process dies with it: the spare must stop counting as
+// protection, and a subsequent hit on the rank's last executor must take
+// the checkpoint fallback instead of being absorbed by a dead spare.
+func TestHotSpareInvalidatedByNodeFailure(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	var sup *Supervisor
+	nodeKilled, k2 := false, false
+	sup = Supervise(c, hotSpareConfig(), 4, func(r *mpi.Rank, world *mpi.Comm, idx int) {
+		rank := r.Rank(world)
+		for it := 0; it < 400; it++ {
+			if it == 3 && rank == 2 && idx == 1 {
+				r.Die()
+			}
+			if !nodeKilled && it == 300 && rank == 0 {
+				if len(sup.RespawnLog) > 0 && sup.RespawnLog[0].Live {
+					nodeKilled = true
+					node := sup.RespawnLog[0].Node
+					if got := sup.MinLiveDegree(); got != 2 {
+						t.Errorf("degree before node failure = %d, want 2 (spare live)", got)
+					}
+					c.Scheduler().After(0, func() { c.FailNode(node) })
+				}
+			}
+			if !k2 && it == 350 && rank == 2 {
+				k2 = true
+				if got := sup.MinLiveDegree(); got >= 2 {
+					t.Errorf("degree after spare's node died = %d, want < 2", got)
+				}
+				if !sup.AbsorbFailure(r, world) {
+					r.Die()
+				}
+			}
+			r.Compute(100 * simnet.Microsecond)
+			if _, err := mpi.AllreduceF64Scalar(r, world, 1, mpi.OpSum); err != nil {
+				t.Errorf("rank %d replica %d iter %d: %v", rank, idx, it, err)
+				return
+			}
+		}
+	})
+	c.Run()
+	if !nodeKilled || !k2 {
+		t.Fatalf("scenario did not run: nodeKilled=%v k2=%v", nodeKilled, k2)
+	}
+	if !sup.Done() {
+		t.Fatal("job never completed")
+	}
+	if sup.Relaunches() != 1 {
+		t.Fatalf("relaunches = %d, want 1 (a dead spare must not absorb the hit)", sup.Relaunches())
+	}
+}
+
+// A second failure landing inside the respawn window — the spare is not
+// yet live — must exhaust the group and take the checkpoint fallback.
+func TestHotSpareWindowFallsBackToRelaunch(t *testing.T) {
+	c := simnet.NewCluster(simnet.Config{Nodes: 4})
+	cfg := hotSpareConfig()
+	cfg.SpawnDelay = 3600 * simnet.Second // spare never ready in this run
+	var sup *Supervisor
+	k1, k2 := false, false
+	sup = Supervise(c, cfg, 4, func(r *mpi.Rank, world *mpi.Comm, idx int) {
+		rank := r.Rank(world)
+		for it := 0; it < 400; it++ {
+			if !k1 && it == 3 && rank == 2 && idx == 1 {
+				k1 = true
+				r.Die()
+			}
+			if !k2 && it == 350 && rank == 2 {
+				k2 = true
+				if !sup.AbsorbFailure(r, world) {
+					r.Die()
+				}
+			}
+			r.Compute(100 * simnet.Microsecond)
+			if _, err := mpi.AllreduceF64Scalar(r, world, 1, mpi.OpSum); err != nil {
+				t.Errorf("rank %d replica %d iter %d: %v", rank, idx, it, err)
+				return
+			}
+		}
+	})
+	c.Run()
+	if !sup.Done() {
+		t.Fatal("job never completed after fallback")
+	}
+	if sup.Failovers() != 1 || sup.Relaunches() != 1 {
+		t.Fatalf("failovers=%d relaunches=%d, want 1/1 (in-window hit must fall back)",
+			sup.Failovers(), sup.Relaunches())
+	}
+	if sup.Respawns() != 0 {
+		t.Fatalf("respawns = %d, want 0 (the spawn never went live)", sup.Respawns())
+	}
+	if len(sup.RespawnLog) == 0 || !sup.RespawnLog[0].Aborted {
+		t.Fatalf("respawn log = %+v, want the in-flight spawn aborted by teardown", sup.RespawnLog)
+	}
+}
+
+// Two identical hot-spare runs must produce identical virtual timelines.
+func TestHotSpareDeterministic(t *testing.T) {
+	run := func() (simnet.Time, int, int) {
+		c := simnet.NewCluster(simnet.Config{Nodes: 4, ModelIngress: true})
+		sup := Supervise(c, hotSpareConfig(), 4, workloop(t, 400, 1, 0, 4))
+		end := c.Run()
+		return end, len(sup.Recoveries), sup.Respawns()
+	}
+	t1, r1, s1 := run()
+	t2, r2, s2 := run()
+	if t1 != t2 || r1 != r2 || s1 != s2 {
+		t.Fatalf("runs diverged: (%v,%d,%d) vs (%v,%d,%d)", t1, r1, s1, t2, r2, s2)
+	}
+}
+
 // Two identical supervised runs must produce identical virtual timelines.
 func TestSupervisorDeterministic(t *testing.T) {
 	run := func() (simnet.Time, int) {

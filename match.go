@@ -56,9 +56,12 @@ type (
 	// Context is the per-rank execution context handed to applications.
 	Context = appkit.Context
 	// ReplicaConfig tunes the replication design (dup degree, partial
-	// replication factor, failover and fallback cost model); set it as
-	// Config.Replica.
+	// replication factor, failover and fallback cost model, hot-spare
+	// respawn); set it as Config.Replica.
 	ReplicaConfig = replica.Config
+	// Respawn records one hot-spare spawn of the replica design's
+	// supervisor (background respawn after a failover; Config.HotSpare).
+	Respawn = replica.Respawn
 	// FaultSchedule is an ordered multi-failure injection schedule; set it
 	// as Config.Schedule for explicit campaigns, or let Config.Faults draw
 	// one deterministically from the seed.
@@ -203,6 +206,16 @@ func ParseFaultSchedule(spec string) (FaultSchedule, error) {
 func ComputeCrossover(results []Result) Crossover {
 	return core.ComputeCrossover(results)
 }
+
+// HotSpareCrossovers splits a campaign that swept the respawn axis
+// (CampaignOptions.HotSpares) into one crossover per hot-spare variant.
+func HotSpareCrossovers(results []Result) (off, on Crossover, swept bool) {
+	return core.HotSpareCrossovers(results)
+}
+
+// HotSpareOf reports whether a configuration runs the replica design with
+// hot-spare respawn enabled.
+func HotSpareOf(c Config) bool { return core.HotSpareOf(c) }
 
 // WriteTableI renders the paper's Table I with the reproduction's
 // scaled-down equivalents.
