@@ -27,6 +27,7 @@ import (
 	"match/internal/fti"
 	"match/internal/replica"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 func main() {
@@ -60,6 +61,9 @@ func main() {
 	hbTimeout := flag.Duration("hb-timeout", 0, "ring/tree detector: observation timeout before a silent peer is declared dead (0 = 3x period)")
 	hbBytes := flag.Int("hb-bytes", 0, "ring/tree detector: heartbeat wire size in bytes (0 = strategy default)")
 	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto; implies -reps 1)")
+	traceMetrics := flag.Bool("trace-metrics", false, "print the trace's per-phase metrics table reconciled against the breakdown (implies -reps 1)")
+	traceDetail := flag.String("trace-detail", "", `extra trace detail: comma-separated from "messages", "heartbeats", "sim", or "all" (high-volume; default off)`)
 	flag.Parse()
 
 	if *listDesigns {
@@ -175,6 +179,20 @@ func main() {
 		}
 		cfg.Schedule = &sched
 	}
+	tracing := *traceOut != "" || *traceMetrics || *traceDetail != ""
+	if tracing {
+		if *reps > 1 {
+			fmt.Fprintf(os.Stderr, "-trace/-trace-metrics trace exactly one run; drop -reps %d (a recorder cannot interleave repetitions)\n", *reps)
+			os.Exit(2)
+		}
+		detail, err := trace.ParseDetail(*traceDetail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Trace = trace.New()
+		cfg.Trace.SetDetail(detail)
+	}
 	d, err := core.ParseDesign(*design)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -233,4 +251,29 @@ func main() {
 	fmt.Printf("  total           %10.3f s\n", bd.Total.Seconds())
 	fmt.Printf("  signature       %g\n", bd.Signature)
 	fmt.Printf("  traffic         %d messages, %d bytes\n", bd.Messages, bd.NetBytes)
+	if bd.LeakedEvents > 0 {
+		fmt.Printf("  WARNING: %d scheduler events never fired (leaked past completion)\n", bd.LeakedEvents)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace           %d spans -> %s (open at https://ui.perfetto.dev)\n",
+			cfg.Trace.Len(), *traceOut)
+	}
+	if *traceMetrics {
+		fmt.Println()
+		cfg.Trace.WriteMetrics(os.Stdout, core.TraceTotalsOf(bd), d == core.ReplicaFTI)
+	}
 }

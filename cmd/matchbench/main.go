@@ -53,10 +53,13 @@ type testEvent struct {
 }
 
 // baseline is the on-disk format: one flat, sorted map of figure keys
-// ("Benchmark/metric") to their deterministic values.
+// ("Benchmark/metric") to their deterministic values, plus the per-
+// benchmark host wall-clock. Wall-clock is machine-dependent, so it is
+// recorded as a trend — reported on comparison, never gated.
 type baseline struct {
 	Comment string             `json:"comment,omitempty"`
 	Figures map[string]float64 `json:"figures"`
+	WallMs  map[string]float64 `json:"wall_ms,omitempty"`
 }
 
 func main() {
@@ -79,7 +82,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	figures, err := extract(r)
+	figures, wallMs, err := extract(r)
 	if err != nil {
 		fatal(err)
 	}
@@ -90,8 +93,9 @@ func main() {
 
 	if *out != "" {
 		b, err := json.MarshalIndent(baseline{
-			Comment: "deterministic figure-level benchmark metrics (virtual seconds/ratios); regenerate with: go test -run='^$' -bench=. -benchtime=1x . | go run ./cmd/matchbench -out BENCH_baseline.json",
+			Comment: "deterministic figure-level benchmark metrics (virtual seconds/ratios); wall_ms is host wall-clock, a trend only; regenerate with: go test -run='^$' -bench=. -benchtime=1x . | go run ./cmd/matchbench -out BENCH_baseline.json",
 			Figures: figures,
+			WallMs:  wallMs,
 		}, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -113,6 +117,7 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
 	}
+	reportWallTrend(base.WallMs, wallMs)
 	if code := compare(base.Figures, figures, *tol); code != 0 {
 		os.Exit(code)
 	}
@@ -123,9 +128,12 @@ func main() {
 // extract pulls the figure map out of benchmark output, accepting both the
 // go test -json event stream and raw text. The event stream splits one
 // result line across several output events (the name fragment carries no
-// newline), so fragments are reassembled per test before parsing.
-func extract(r io.Reader) (map[string]float64, error) {
+// newline), so fragments are reassembled per test before parsing. The
+// second map is per-benchmark host wall-clock (ns/op rendered as ms) —
+// kept apart from the figures because it is machine noise, not a gate.
+func extract(r io.Reader) (map[string]float64, map[string]float64, error) {
 	figures := map[string]float64{}
+	wallMs := map[string]float64{}
 	partial := map[string]string{} // per (package, test): unterminated output fragment
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -144,23 +152,24 @@ func extract(r io.Reader) (map[string]float64, error) {
 					if nl < 0 {
 						break
 					}
-					parseLine(figures, buf[:nl])
+					parseLine(figures, wallMs, buf[:nl])
 					buf = buf[nl+1:]
 				}
 				partial[key] = buf
 				continue
 			}
 		}
-		parseLine(figures, line)
+		parseLine(figures, wallMs, line)
 	}
 	for _, rest := range partial {
-		parseLine(figures, rest)
+		parseLine(figures, wallMs, rest)
 	}
-	return figures, sc.Err()
+	return figures, wallMs, sc.Err()
 }
 
-// parseLine records the custom metrics of one benchmark result line.
-func parseLine(figures map[string]float64, line string) {
+// parseLine records the custom metrics of one benchmark result line, and
+// its ns/op as the wall_ms trend entry.
+func parseLine(figures, wallMs map[string]float64, line string) {
 	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 	if m == nil {
 		return
@@ -169,14 +178,43 @@ func parseLine(figures map[string]float64, line string) {
 	fields := strings.Fields(rest)
 	for i := 0; i+1 < len(fields); i += 2 {
 		unit := fields[i+1]
-		if hostUnits[unit] {
-			continue
-		}
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
+		if unit == "ns/op" {
+			wallMs[name] = v / 1e6
+			continue
+		}
+		if hostUnits[unit] {
+			continue
+		}
 		figures[name+"/"+unit] = v
+	}
+}
+
+// reportWallTrend prints per-benchmark host wall-clock movement against
+// the baseline. Informational only: wall-clock varies by machine and load,
+// so it never fails the gate — it exists to make slow drifts visible in CI
+// logs before they become painful.
+func reportWallTrend(base, cur map[string]float64) {
+	if len(base) == 0 || len(cur) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		if _, ok := cur[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		was, now := base[k], cur[k]
+		pct := ""
+		if was > 0 {
+			pct = fmt.Sprintf(" (%+.0f%%)", 100*(now-was)/was)
+		}
+		fmt.Printf("wall %-60s %.1fms -> %.1fms%s [trend, not gated]\n", k, was, now, pct)
 	}
 }
 

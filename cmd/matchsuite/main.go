@@ -20,7 +20,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +62,10 @@ func main() {
 	replicaSweep := flag.String("replica-sweep", "", "campaign the replica design over these ReplicaFactors (e.g. 0,0.25,0.5,1.0; 0 = replication off) and print the combined overhead-vs-ReplicaFactor curve")
 	hotSpareSweep := flag.Bool("hot-spare-sweep", false, "campaign the replica design with hot-spare respawn off and on and print the Replica-vs-Reinit crossover per variant")
 	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
+	progress := flag.Bool("progress", true, "report per-cell completion, wall-clock, and throughput on stderr while a sweep runs (stdout stays byte-stable)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at sweep end to this file")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live inspection of long sweeps")
 	flag.Parse()
 
 	if *maxFaults < 0 {
@@ -197,7 +205,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers, ModelIngress: *modelIngress}
+	// Profiling and progress are pure observability: profiles measure the
+	// host-side cost of the sweep, and progress writes to stderr only, so
+	// the deterministic stdout/CSV streams stay byte-stable.
+	stopProf := startProfiling(*cpuprofile, *memprofile, *pprofHTTP)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		stopProf()
+		os.Exit(1)
+	}
+	var prog core.Progress
+	if *progress {
+		sweepStart := time.Now()
+		prog = func(done, total int, r core.Result, wall time.Duration) {
+			rate := float64(done) / time.Since(sweepStart).Seconds()
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s faults=%d  %6.2fs wall  (%.2f cells/s)\n",
+				done, total, r.Key(), r.Config.FaultCount(), wall.Seconds(), rate)
+		}
+	}
+
+	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers,
+		ModelIngress: *modelIngress, Progress: prog}
 	if len(detectors) == 1 {
 		opts.Detector = detectors[0]
 	}
@@ -233,14 +261,14 @@ func main() {
 			Policies:       policies,
 			ReplicaFactors: factors,
 			ModelIngress:   *modelIngress,
+			Progress:       prog,
 		}
 		if *hotSpareSweep {
 			copts.HotSpares = []bool{false, true}
 		}
 		results, err := core.RunCampaign(copts, os.Stdout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if len(detectors) > 0 {
 			core.WriteDetectionTradeoff(os.Stdout, core.ComputeDetectionTradeoff(results))
@@ -264,14 +292,12 @@ func main() {
 		writeCSV(*csvPath, results)
 	case *verify:
 		if err := runVerify(opts); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 	case *ratios:
 		results, err := core.RunFigure(6, opts, os.Stdout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		core.ComputeRatios(results).Write(os.Stdout)
 		writeCSV(*csvPath, results)
@@ -282,8 +308,7 @@ func main() {
 			// keeps each figure's output self-contained.
 			results, err := core.RunFigure(f, opts, os.Stdout)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 			everything = append(everything, results...)
 		}
@@ -292,13 +317,62 @@ func main() {
 	case *fig != 0:
 		results, err := core.RunFigure(*fig, opts, os.Stdout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		writeCSV(*csvPath, results)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopProf()
+}
+
+// startProfiling arms the requested host-side profilers and returns the
+// teardown that flushes them; every exit path of a profiled sweep must run
+// it (os.Exit skips defers), or the CPU profile ends up truncated.
+func startProfiling(cpu, mem, httpAddr string) func() {
+	var stops []func()
+	if httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof-http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: live profiles at http://%s/debug/pprof/\n", httpAddr)
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		})
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"match/internal/fti"
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // Params is one Table I configuration: application input plus run shape.
@@ -103,6 +104,17 @@ func RunMainLoop(ctx *Context, app App) (float64, error) {
 	if pol == nil {
 		pol = ckpt.FixedPolicy(ctx.Params.CkptStride)
 	}
+	// Trace identity of this rank's main loop, captured once: one compute
+	// span per step lands on the rank's own timeline track.
+	tr := ctx.R.Job().Cluster().Tracer()
+	var trRank, trReplica, trJob int32
+	if tr.Enabled() {
+		trRank = int32(ctx.Rank())
+		trJob = tr.JobOf(ctx.R.Job())
+		if ctx.World.Replicated() {
+			trReplica = int32(ctx.World.ReplicaIndexOf(ctx.R.Process().GID()))
+		}
+	}
 	for ; iter < ctx.Params.MaxIter; iter++ {
 		ctx.Inject.MaybeFail(ctx.R, ctx.World, iter)
 		if d := pol.Next(ckpt.State{Iter: iter}); d.Take {
@@ -116,7 +128,13 @@ func RunMainLoop(ctx *Context, app App) (float64, error) {
 		if err := app.Step(ctx, iter); err != nil {
 			return 0, err
 		}
-		pol.Observe(ckpt.ObsStep, ctx.R.Now()-start)
+		stepDur := ctx.R.Now() - start
+		if tr.Wants(trace.CatCompute) {
+			tr.Emit(trace.Span{Cat: trace.CatCompute,
+				Rank: trRank, Replica: trReplica, Job: trJob,
+				Start: int64(start), Dur: int64(stepDur), Aux: int64(iter)})
+		}
+		pol.Observe(ckpt.ObsStep, stepDur)
 	}
 	sig, err := app.Signature(ctx)
 	if err != nil {

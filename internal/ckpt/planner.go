@@ -5,6 +5,7 @@ import (
 
 	"match/internal/fti"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // Planner owns checkpoint placement for one benchmark run. It is shared by
@@ -29,6 +30,13 @@ type Planner struct {
 	// runtime feeds it; nil means unreplicated (degree 1), under which
 	// replica-aware placement degenerates to the base stride.
 	Degree func() int
+
+	// Trace receives placement-decision events (policy re-arms and avoided
+	// checkpoints) when the harness runs with a recorder attached; Now
+	// supplies the virtual clock for them. Both nil by default — the
+	// planner itself is clock-free.
+	Trace *trace.Recorder
+	Now   func() simnet.Time
 
 	pol      *policy
 	polEpoch int
@@ -64,6 +72,10 @@ func (pl *Planner) Policy() Policy {
 		pl.polEpoch = e
 		pl.pol = pl.build()
 		pl.strides = append(pl.strides, pl.pol.stride)
+		if pl.Trace.Wants(trace.CatPolicyArm) && pl.Now != nil {
+			pl.Trace.Emit(trace.Span{Cat: trace.CatPolicyArm, Rank: -1,
+				Start: int64(pl.Now()), Level: int32(e), Aux: int64(pl.pol.stride)})
+		}
 	}
 	return pl.pol
 }
@@ -198,6 +210,10 @@ func (p *policy) Next(s State) Decision {
 		p.taken++
 	} else if p.pl.cfg.Stride > 0 && s.Iter%p.pl.cfg.Stride == 0 {
 		p.pl.avoided++
+		if p.pl.Trace.Wants(trace.CatPolicyAvoid) && p.pl.Now != nil {
+			p.pl.Trace.Emit(trace.Span{Cat: trace.CatPolicyAvoid, Rank: -1,
+				Start: int64(p.pl.Now()), Aux: int64(s.Iter)})
+		}
 	}
 	p.memo[s.Iter] = d
 	return d

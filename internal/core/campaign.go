@@ -61,6 +61,12 @@ type CampaignOptions struct {
 	// matrices multiply the figure run count by K+1, so they always run on
 	// the pool.
 	Workers int
+	// Progress, when set, observes every completed cell (see Progress) —
+	// campaign matrices are the longest sweeps, and used to run silently
+	// until the final table. Implementations must write to stderr or
+	// another side channel: campaign stdout and CSV are diffed by the
+	// determinism gate.
+	Progress Progress
 }
 
 func (o *CampaignOptions) fill() {
@@ -199,7 +205,7 @@ func HotSpareOf(c Config) bool {
 // count, per design) to w, and returns the raw results.
 func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
 	cfgs := CampaignConfigs(opts) // fills defaults on its own copy
-	results, err := RunConfigs(cfgs, opts.Reps, opts.Workers)
+	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress)
 	if err != nil {
 		return results, err
 	}

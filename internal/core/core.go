@@ -24,6 +24,7 @@ import (
 	"match/internal/restart"
 	"match/internal/simnet"
 	"match/internal/storage"
+	"match/internal/trace"
 	"match/internal/ulfm"
 )
 
@@ -181,6 +182,17 @@ type Config struct {
 	// Params overrides the Table I parameter resolution entirely when
 	// MaxIter is non-zero (used by custom applications).
 	Params appkit.Params
+
+	// Trace, when non-nil, records a per-rank event timeline of the run:
+	// compute/checkpoint spans on every rank's track plus injector,
+	// detector, and recovery activity (export with trace.WriteChrome, or
+	// summarize with trace.WriteMetrics). The recorder only observes — it
+	// never schedules or charges time — so a traced run is byte-identical
+	// to an untraced one; Run additionally self-checks the recorded spans
+	// against the returned Breakdown and fails hard on divergence. One
+	// recorder serves exactly one Run: it is not safe to share across the
+	// concurrent runs of a sweep (RunAveraged rejects Trace with reps > 1).
+	Trace *trace.Recorder
 }
 
 // FaultCount is the number of failures this configuration injects: the
@@ -249,6 +261,13 @@ type Breakdown struct {
 	// SpawnTime is a resource metric, not a component of Total.
 	Respawns  int
 	SpawnTime simnet.Time
+	// LeakedEvents counts scheduler events still pending when the run's
+	// event loop went quiescent — timers and deliveries that were scheduled
+	// but never fired. A clean run drains to zero; a non-zero count means
+	// some component kept re-arming past job completion (or the deadline
+	// net tripped) and its virtual-time costs are missing from Total. The
+	// trace recorder logs the earliest leaked timestamp alongside.
+	LeakedEvents int
 }
 
 // recorder accumulates per-rank results across job incarnations.
@@ -342,6 +361,7 @@ func Run(cfg Config) (Breakdown, error) {
 	// forced it on; see the README's detection/calibration notes.
 	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes, ModelIngress: cfg.ModelIngress})
 	cluster.Scheduler().SetDeadline(200000 * simnet.Second) // deadlock net
+	cluster.SetTracer(cfg.Trace)
 	st := storage.New(cluster, storage.Config{BytesScale: scale})
 
 	var sched fault.Schedule
@@ -370,6 +390,8 @@ func Run(cfg Config) (Breakdown, error) {
 	if err != nil {
 		return Breakdown{}, err
 	}
+	planner.Trace = cfg.Trace
+	planner.Now = cluster.Now
 
 	// The execution id only needs to be stable across the incarnations of
 	// this one run (each run owns its cluster and storage), so it is derived
@@ -403,6 +425,17 @@ func Run(cfg Config) (Breakdown, error) {
 		}
 		rec.sigs[rank] = sig
 		rec.finish[rank] = r.Now()
+		// Mirror the finish-map write exactly: Totals takes the last
+		// CatFinish write per rank, so emission order must match map
+		// assignment order (it does — the simulation is single-threaded).
+		if tr := cfg.Trace; tr.Wants(trace.CatFinish) {
+			var rep int32
+			if world.Replicated() {
+				rep = int32(world.ReplicaIndexOf(r.Process().GID()))
+			}
+			tr.Emit(trace.Span{Cat: trace.CatFinish, Rank: int32(rank),
+				Replica: rep, Job: tr.JobOf(r.Job()), Start: int64(r.Now())})
+		}
 		return nil
 	}
 
@@ -421,6 +454,16 @@ func Run(cfg Config) (Breakdown, error) {
 	}
 	if err != nil {
 		return bd, err
+	}
+
+	// A drained scheduler is the quiescence invariant; pending events after
+	// Run mean some component's virtual-time costs never landed. Count them
+	// (cheap queue scan, traced or not) so reports can surface the leak.
+	if n, at := cluster.Scheduler().Leaked(); n > 0 {
+		bd.LeakedEvents = n
+		if tr := cfg.Trace; tr.Wants(trace.CatLeak) {
+			tr.Emit(trace.Span{Cat: trace.CatLeak, Rank: -1, Start: int64(at), Aux: int64(n)})
+		}
 	}
 
 	for _, t := range rec.finish {
@@ -446,7 +489,32 @@ func Run(cfg Config) (Breakdown, error) {
 			return bd, fmt.Errorf("core: rank %d signature %v != rank 0 signature %v", r, s, rec.sigs[0])
 		}
 	}
+	// Self-check: the trace's own phase accounting must reproduce the
+	// breakdown exactly. A divergence means an instrumentation point
+	// drifted from the measurement it mirrors — fail the run rather than
+	// report a timeline that disagrees with the numbers.
+	if tr := cfg.Trace; tr.Enabled() {
+		if rerr := tr.Reconcile(TraceTotalsOf(bd), cfg.Design == ReplicaFTI); rerr != nil {
+			return bd, fmt.Errorf("core: %w", rerr)
+		}
+	}
 	return bd, nil
+}
+
+// TraceTotalsOf converts a Breakdown's phase components into the trace
+// package's totals form — the reference side of trace.Reconcile and
+// trace.WriteMetrics. Pass dedupCkpt = (Design == ReplicaFTI) wherever the
+// trace side is recomputed: replicated runs keep the furthest replica's
+// checkpoint time per rank rather than the sum.
+func TraceTotalsOf(bd Breakdown) trace.Totals {
+	return trace.Totals{
+		Total:            int64(bd.Total),
+		App:              int64(bd.App),
+		Ckpt:             int64(bd.Ckpt),
+		Recovery:         int64(bd.Recovery),
+		DetectLatency:    int64(bd.DetectLatency),
+		DetectedFailures: bd.DetectedFailures,
+	}
 }
 
 // ResolvedDetector reports the detection configuration a Run of cfg will
@@ -542,6 +610,10 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	cluster.Run()
 	for _, rcv := range sup.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
+			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: int32(rcv.FailedRanks[0]),
+				Start: int64(rcv.FailedAt), Dur: int64(rcv.Duration())})
+		}
 	}
 	bd.Recoveries = len(sup.Recoveries)
 	bd.DetectLatency, bd.DetectedFailures = detect.Totals(sup.Detectors...)
@@ -572,6 +644,10 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	rec.errs = append(rec.errs, rt.Errs...)
 	for _, rcv := range rt.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
+			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: int32(rcv.FailedRank),
+				Start: int64(rcv.FailedAt), Dur: int64(rcv.Duration())})
+		}
 	}
 	bd.Recoveries = len(rt.Recoveries)
 	bd.DetectLatency, bd.DetectedFailures = detect.Totals(rt.Detector())
@@ -600,6 +676,15 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	rec.errs = append(rec.errs, rt.Errs...)
 	for _, rcv := range rt.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
+			rank := int32(-1)
+			if len(rcv.FailedRanks) > 0 {
+				rank = int32(rcv.FailedRanks[0])
+			}
+			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: rank,
+				Start: int64(rcv.FailedAt), Dur: int64(rcv.Duration()),
+				Aux: int64(len(rcv.FailedRanks))})
+		}
 	}
 	bd.Recoveries = len(rt.Recoveries)
 	bd.DetectLatency, bd.DetectedFailures = detect.Totals(rt.Detector())
@@ -665,6 +750,11 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	}
 	for _, rcv := range sup.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
+			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: int32(rcv.Rank),
+				Replica: int32(rcv.Replica), Level: int32(rcv.Kind),
+				Start: int64(rcv.FailedAt), Dur: int64(rcv.Duration())})
+		}
 	}
 	bd.Recoveries = len(sup.Recoveries)
 	bd.DetectLatency, bd.DetectedFailures = detect.Totals(sup.Detectors...)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"match/internal/ckpt"
 	"match/internal/detect"
@@ -33,6 +34,9 @@ func (r Result) Key() string {
 func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	if reps <= 0 {
 		reps = 1
+	}
+	if cfg.Trace != nil && reps > 1 {
+		return Breakdown{}, nil, fmt.Errorf("core: one trace recorder serves one run; tracing with %d repetitions would interleave their timelines (trace a single rep instead)", reps)
 	}
 	var acc Breakdown
 	acc.Completed = true // AND over reps (Run errors on incompletion today)
@@ -65,6 +69,7 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 		acc.NetBytes += bd.NetBytes
 		acc.Respawns += bd.Respawns
 		acc.SpawnTime += bd.SpawnTime
+		acc.LeakedEvents += bd.LeakedEvents
 	}
 	n := simnet.Time(reps)
 	acc.Total /= n
@@ -86,6 +91,7 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	acc.NetBytes = divRound(acc.NetBytes, reps)
 	acc.Respawns = int(divRound(int64(acc.Respawns), reps))
 	acc.SpawnTime /= n
+	acc.LeakedEvents = int(divRound(int64(acc.LeakedEvents), reps))
 	acc.Signature = results[0].Breakdown.Signature
 	return acc, results, nil
 }
@@ -114,6 +120,10 @@ type SuiteOptions struct {
 	CkptPolicy ckpt.Config
 	// ModelIngress switches receiver-NIC serialization on for every run.
 	ModelIngress bool
+	// Progress, when set, observes every completed cell (see Progress).
+	// Implementations must write to stderr or another side channel: the
+	// sweep's stdout/CSV streams are diffed by the determinism gate.
+	Progress Progress
 }
 
 func (o *SuiteOptions) fill() {
@@ -208,6 +218,15 @@ func filterCubes(s []int) []int {
 	return out
 }
 
+// Progress observes a sweep as it runs: invoked once per completed cell
+// with the completion count so far, the total cell count, the cell's
+// result, and its host wall-clock duration. Calls are serialized (safe to
+// write a status line from) but arrive in completion order, not config
+// order. Wall-clock is host time — a throughput diagnostic, never part of
+// the measured (virtual-time) results, so progress consumers must keep it
+// off the deterministic output streams.
+type Progress func(done, total int, r Result, wall time.Duration)
+
 // RunConfigs executes configurations on a bounded worker pool (workers <= 0
 // means GOMAXPROCS) with reps repetitions each. The result slice is ordered
 // like cfgs regardless of the worker count or completion order, so sweep
@@ -215,6 +234,12 @@ func filterCubes(s []int) []int {
 // ones finish); the successful prefix — every configuration before the
 // lowest-indexed failing one — is returned with that error.
 func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
+	return runConfigs(cfgs, reps, workers, nil)
+}
+
+// runConfigs is RunConfigs plus the per-cell progress callback the
+// campaign/suite CLIs report throughput through.
+func runConfigs(cfgs []Config, reps, workers int, progress Progress) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -227,6 +252,8 @@ func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
 	next := make(chan int)
 	var failed atomic.Bool // fail fast: don't start new runs after an error
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -235,14 +262,22 @@ func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
 				if failed.Load() {
 					continue
 				}
+				start := time.Now()
 				bd, _, err := RunAveraged(cfgs[i], reps)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
 				}
-				results[i] = Result{Config: cfgs[i], Breakdown: bd}
+				res := Result{Config: cfgs[i], Breakdown: bd}
+				results[i] = res
 				done[i] = true
+				if progress != nil {
+					progressMu.Lock()
+					completed++
+					progress(completed, len(cfgs), res, time.Since(start))
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -279,7 +314,7 @@ func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
 		return nil, err
 	}
 	opts.fill()
-	results, err := RunConfigs(cfgs, opts.Reps, opts.Workers)
+	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress)
 	if err != nil {
 		return results, err
 	}

@@ -33,6 +33,7 @@ import (
 
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // Kind selects a detection strategy.
@@ -357,13 +358,21 @@ func (b *base) FailureOf(gid int) (Failure, bool) {
 
 func (b *base) Failures() []Failure { return b.failures }
 
-// confirm records and delivers a failure exactly once.
+// confirm records and delivers a failure exactly once. The CatDetect span
+// emitted here (FailedAt..DetectedAt) is the trace-side oracle the
+// harness reconciles against detect.Totals: one span per confirmed
+// failure, at the single site every strategy funnels through.
 func (b *base) confirm(f Failure) {
 	if b.confirmed[f.GID] {
 		return
 	}
 	b.confirmed[f.GID] = true
 	b.failures = append(b.failures, f)
+	if tr := b.job.Cluster().Tracer(); tr.Wants(trace.CatDetect) {
+		tr.Emit(trace.Span{Cat: trace.CatDetect, Rank: -1, Job: tr.JobOf(b.job),
+			Start: int64(f.FailedAt), Dur: int64(f.Latency()),
+			Level: int32(b.cfg.Kind), Aux: int64(f.GID)})
+	}
 	b.onDetect(f)
 }
 

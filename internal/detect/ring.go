@@ -3,6 +3,7 @@ package detect
 import (
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // ringDetector is the OCFTL-style in-band ring heartbeat (Bosilca et al.),
@@ -39,6 +40,10 @@ func (d *ringDetector) tick() {
 		// Ring heartbeat: consumes sender NIC bandwidth.
 		cl.SendArrival(p.NodeID(), succ.NodeID(), d.cfg.HeartbeatBytes, now)
 		d.job.Steal(p.GID(), steal)
+	}
+	if tr := cl.Tracer(); tr.Wants(trace.CatHeartbeat) {
+		tr.Emit(trace.Span{Cat: trace.CatHeartbeat, Rank: -1, Job: tr.JobOf(d.job),
+			Start: int64(now), Aux: int64(len(alive))})
 	}
 	allExited := true
 	for _, p := range d.procs {

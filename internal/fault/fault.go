@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"match/internal/mpi"
+	"match/internal/trace"
 )
 
 // Kind selects what fails.
@@ -397,14 +398,34 @@ func (in *Injector) fire(i int, ev Event, r *mpi.Rank, comm *mpi.Comm) {
 			fmt.Fprintf(in.Log, "KILL rank %d\n", r.Rank(comm))
 		}
 	}
+	tr := r.Job().Cluster().Tracer()
+	emitInject := func(absorbed bool) {
+		if !tr.Wants(trace.CatInject) {
+			return
+		}
+		s := trace.Span{Cat: trace.CatInject, Rank: int32(r.Rank(comm)),
+			Replica: int32(ev.TargetReplica), Job: tr.JobOf(r.Job()),
+			Start: int64(r.Now())}
+		if ev.Kind == NodeFailure {
+			s.Level = 1
+		}
+		if absorbed {
+			s.Aux = 1
+		}
+		tr.Emit(s)
+	}
 	if ev.Kind == NodeFailure {
 		node := r.Process().NodeID()
 		cl := r.Job().Cluster()
+		emitInject(false)
 		// The node takes down its other residents via a scheduler event;
 		// this rank dies immediately.
 		cl.Scheduler().After(0, func() { cl.FailNode(node) })
 	} else if in.Redirect != nil && in.Redirect(r, comm, ev) {
+		emitInject(true)
 		return // absorbed: a lockstep twin took over the victim's identity
+	} else {
+		emitInject(false)
 	}
 	r.Die()
 }

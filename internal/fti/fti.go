@@ -25,6 +25,7 @@ import (
 	"match/internal/mpi"
 	"match/internal/simnet"
 	"match/internal/storage"
+	"match/internal/trace"
 )
 
 // Level selects the checkpointing level.
@@ -138,6 +139,16 @@ type FTI struct {
 	// copies even when a rank has been respawned on a different node.
 	origNodes []int
 	Stats     Stats
+
+	// tr/trActor/trJob/trRank/trReplica are the trace identity of this
+	// instance, captured at Init: the actor id groups checkpoint spans by
+	// FTI instance so the reconciliation can mirror the harness's per-
+	// replica stats dedup. tr is nil when tracing is off.
+	tr        *trace.Recorder
+	trActor   int32
+	trJob     int32
+	trRank    int32
+	trReplica int32
 }
 
 type protEntry struct {
@@ -163,6 +174,15 @@ func Init(cfg Config, r *mpi.Rank, comm *mpi.Comm, st *storage.System) (*FTI, er
 		rank:   r.Rank(comm),
 		node:   r.Process().NodeID(),
 		latest: -1,
+	}
+	if tr := r.Job().Cluster().Tracer(); tr.Enabled() {
+		f.tr = tr
+		f.trActor = tr.NewActor()
+		f.trJob = tr.JobOf(r.Job())
+		f.trRank = int32(f.rank)
+		if comm.Replicated() {
+			f.trReplica = int32(comm.ReplicaIndexOf(r.Process().GID()))
+		}
 	}
 	f.loadTopology()
 	mine := f.readMeta()
@@ -440,10 +460,22 @@ func (f *FTI) CheckpointAt(id int64, level Level) error {
 		return fmt.Errorf("fti: unknown level %v", level)
 	}
 	start := f.r.Now()
+	bytes0 := f.Stats.CkptBytes
 	defer func() {
-		f.Stats.CkptTime += f.r.Now() - start
+		// Runs on every exit — normal return, error, and the Killed-panic
+		// unwind of a rank shot mid-checkpoint — so the emitted span always
+		// carries exactly the duration added to Stats.CkptTime, which is
+		// what lets the trace reconcile against the Breakdown.
+		dur := f.r.Now() - start
+		f.Stats.CkptTime += dur
 		f.Stats.CkptCount++
 		f.Stats.CkptCountAt[level]++
+		if f.tr.Wants(trace.CatCkpt) {
+			f.tr.Emit(trace.Span{Cat: trace.CatCkpt,
+				Rank: f.trRank, Replica: f.trReplica, Job: f.trJob, Actor: f.trActor,
+				Start: int64(start), Dur: int64(dur),
+				Level: int32(level), Aux: f.Stats.CkptBytes - bytes0})
+		}
 	}()
 	payload := f.serialize()
 	f.Stats.CkptBytes += int64(len(payload))
@@ -503,8 +535,15 @@ func (f *FTI) gc(id int64, level Level) {
 func (f *FTI) Recover() error {
 	start := f.r.Now()
 	defer func() {
-		f.Stats.RecoverTime += f.r.Now() - start
+		dur := f.r.Now() - start
+		f.Stats.RecoverTime += dur
 		f.Stats.RecoverOps++
+		if f.tr.Wants(trace.CatRestore) {
+			f.tr.Emit(trace.Span{Cat: trace.CatRestore,
+				Rank: f.trRank, Replica: f.trReplica, Job: f.trJob, Actor: f.trActor,
+				Start: int64(start), Dur: int64(dur),
+				Level: int32(f.committedLevel()), Aux: f.latest})
+		}
 	}()
 	if f.latest < 0 {
 		return ErrNoCheckpoint

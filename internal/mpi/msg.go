@@ -1,6 +1,9 @@
 package mpi
 
-import "match/internal/simnet"
+import (
+	"match/internal/simnet"
+	"match/internal/trace"
+)
 
 // Send posts a point-to-point message to rank dst of comm. Sends are eager:
 // the runtime buffers the payload, so Send never blocks waiting for the
@@ -78,6 +81,10 @@ func (r *Rank) sendCopy(c *Comm, to *Process, srcRank, tag int, data []byte, rep
 			key := seqKey(msg.Ctx, msg.SrcRank)
 			if msg.seq < to.recvSeq[key] {
 				j.Stats.Suppressed++
+				if tr := cl.Tracer(); tr.Wants(trace.CatDedup) {
+					tr.Emit(trace.Span{Cat: trace.CatDedup, Rank: int32(msg.SrcRank),
+						Job: tr.JobOf(j), Start: int64(arrive), Aux: int64(msg.seq)})
+				}
 				return // duplicate copy from a twin replica
 			}
 			to.recvSeq[key] = msg.seq + 1
@@ -91,6 +98,11 @@ func (r *Rank) sendCopy(c *Comm, to *Process, srcRank, tag int, data []byte, rep
 	})
 	j.Stats.Messages++
 	j.Stats.Bytes += int64(len(data))
+	if tr := cl.Tracer(); tr.Wants(trace.CatSend) {
+		tr.Emit(trace.Span{Cat: trace.CatSend, Rank: int32(srcRank), Job: tr.JobOf(j),
+			Start: int64(now), Dur: int64(arrive - now),
+			Level: int32(tag), Aux: int64(len(data))})
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // State tells the resilient function whether it is a fresh start or a
@@ -222,6 +223,10 @@ func (rt *Runtime) globalRestart(failed *mpi.Process, failedAt, detectedAt simne
 		CompletedAt: now + rt.cfg.RespawnDelay,
 	}
 	rt.Recoveries = append(rt.Recoveries, rec)
+	if tr := rt.job.Cluster().Tracer(); tr.Wants(trace.CatRepair) {
+		tr.Emit(trace.Span{Cat: trace.CatRepair, Rank: int32(oldRank),
+			Job: tr.JobOf(rt.job), Start: int64(rec.CompletedAt), Aux: 1})
+	}
 }
 
 // treeDepth returns the level of rank in a binomial broadcast tree.

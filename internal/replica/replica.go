@@ -31,6 +31,7 @@ import (
 	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // Config tunes the replication runtime.
@@ -314,6 +315,40 @@ type Supervisor struct {
 	// the index into RespawnLog of the pending or live spawn, and — once
 	// live — the virtual member joined to the replica group.
 	spares map[int]*spare
+	// degradedAt tracks, per logical rank, when its replica group dropped
+	// below configured degree — trace-only bookkeeping closed into a
+	// CatDegraded span when a respawn restores protection. Nil (never
+	// allocated) unless a recorder wants the category.
+	degradedAt map[int]simnet.Time
+}
+
+// markDegraded opens a below-degree trace window for rank; no-op unless a
+// recorder wants CatDegraded spans.
+func (s *Supervisor) markDegraded(rank int) {
+	if !s.cluster.Tracer().Wants(trace.CatDegraded) {
+		return
+	}
+	if s.degradedAt == nil {
+		s.degradedAt = make(map[int]simnet.Time)
+	}
+	if _, open := s.degradedAt[rank]; !open {
+		s.degradedAt[rank] = s.cluster.Now()
+	}
+}
+
+// closeDegraded emits the rank's open below-degree window, if any.
+func (s *Supervisor) closeDegraded(rank, idx int) {
+	start, open := s.degradedAt[rank]
+	if !open {
+		return
+	}
+	delete(s.degradedAt, rank)
+	tr := s.cluster.Tracer()
+	if tr.Wants(trace.CatDegraded) {
+		tr.Emit(trace.Span{Cat: trace.CatDegraded,
+			Rank: int32(rank), Replica: int32(idx), Job: tr.JobOf(s.CurrentJob()),
+			Start: int64(start), Dur: int64(s.cluster.Now() - start)})
+	}
 }
 
 // spare is one in-flight or live hot spare. The spare is a *virtual*
@@ -590,6 +625,12 @@ func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, f de
 		}
 		world.PruneReplica(f.GID)
 		world.PromoteLeader(rank)
+		if tr := s.cluster.Tracer(); tr.Wants(trace.CatFailover) {
+			tr.Emit(trace.Span{Cat: trace.CatFailover,
+				Rank: int32(rank), Replica: int32(idx), Job: tr.JobOf(job),
+				Start: int64(completed), Aux: int64(f.GID)})
+		}
+		s.markDegraded(rank)
 		// The global fault notification quiesces every surviving process
 		// for the detection+election window — the whole recovery cost;
 		// nothing is rolled back or recomputed.
@@ -681,6 +722,13 @@ func (s *Supervisor) goLive(job *mpi.Job, world *mpi.Comm, rank, idx, node int, 
 	sp.proc = p
 	s.RespawnLog[sp.log].Live = true
 	s.RespawnLog[sp.log].LiveAt = s.cluster.Now()
+	if tr := s.cluster.Tracer(); tr.Wants(trace.CatSpawn) {
+		rs := &s.RespawnLog[sp.log]
+		tr.Emit(trace.Span{Cat: trace.CatSpawn,
+			Rank: int32(rank), Replica: int32(idx), Job: tr.JobOf(job),
+			Start: int64(rs.StartedAt), Dur: int64(rs.Duration()), Aux: int64(node)})
+	}
+	s.closeDegraded(rank, idx)
 }
 
 // abortRespawn records that a spawn never went live (teardown beat it, or
@@ -689,6 +737,14 @@ func (s *Supervisor) abortRespawn(rank int, sp *spare) {
 	s.RespawnLog[sp.log].Aborted = true
 	if s.spares[rank] == sp {
 		delete(s.spares, rank)
+	}
+	if tr := s.cluster.Tracer(); tr.Wants(trace.CatSpawn) {
+		rs := &s.RespawnLog[sp.log]
+		// Level 1 marks an aborted spawn; the span covers schedule-to-abort.
+		tr.Emit(trace.Span{Cat: trace.CatSpawn,
+			Rank: int32(rank), Replica: int32(rs.Replica), Job: tr.JobOf(s.CurrentJob()),
+			Start: int64(rs.StartedAt), Dur: int64(s.cluster.Now() - rs.StartedAt),
+			Level: 1, Aux: int64(rs.Node)})
 	}
 }
 
@@ -765,12 +821,18 @@ func (s *Supervisor) AbsorbFailure(r *mpi.Rank, world *mpi.Comm) bool {
 	spareIdx := s.gidIdx[spareProc.GID()]
 	s.gidIdx[victim.GID()] = spareIdx
 	world.SetReplicaIndex(victim.GID(), spareIdx)
+	if tr := s.cluster.Tracer(); tr.Wants(trace.CatAbsorb) {
+		tr.Emit(trace.Span{Cat: trace.CatAbsorb,
+			Rank: int32(rank), Replica: int32(idx), Job: tr.JobOf(job),
+			Start: int64(now), Aux: int64(victim.GID())})
+	}
 	s.cluster.Scheduler().At(completed, func() {
 		if job != s.CurrentJob() || job.Aborted() {
 			return
 		}
 		world.PruneReplica(spareProc.GID())
 		world.PromoteLeader(rank)
+		s.markDegraded(rank)
 		quiesce := completed - now
 		for rr := 0; rr < s.layout.Procs; rr++ {
 			for _, m := range world.ReplicaGroup(rr) {
@@ -817,6 +879,11 @@ func (s *Supervisor) fallback(job *mpi.Job, rank int, f detect.Failure) {
 			// in-band detector, DetectDelay after the death otherwise.
 			FailedAt: f.FailedAt, DetectedAt: abortedAt, CompletedAt: abortedAt + delay,
 		})
+		if tr := s.cluster.Tracer(); tr.Wants(trace.CatFallback) {
+			tr.Emit(trace.Span{Cat: trace.CatFallback,
+				Rank: int32(rank), Job: tr.JobOf(job),
+				Start: int64(abortedAt), Aux: int64(f.GID)})
+		}
 		s.launch(delay)
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"match/internal/detect"
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // Config is the job-launcher cost model.
@@ -194,6 +195,10 @@ func (s *Supervisor) onFailure(job *mpi.Job, f detect.Failure) {
 			RelaunchAt:  abortedAt + relaunchDelay,
 			FailedRanks: []int{failedRank},
 		})
+		if tr := s.cluster.Tracer(); tr.Wants(trace.CatRepair) {
+			tr.Emit(trace.Span{Cat: trace.CatRepair, Rank: int32(failedRank),
+				Job: tr.JobOf(job), Start: int64(abortedAt + relaunchDelay), Aux: 1})
+		}
 		s.launch(relaunchDelay)
 	})
 }

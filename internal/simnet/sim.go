@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"match/internal/trace"
 )
 
 // Time is virtual time in nanoseconds since the start of the simulation.
@@ -81,6 +83,7 @@ type Scheduler struct {
 	running bool
 	maxTime Time // 0 means unlimited
 	stopped bool
+	tracer  *trace.Recorder
 }
 
 // NewScheduler returns an empty scheduler at virtual time zero.
@@ -131,6 +134,9 @@ func (s *Scheduler) Run() Time {
 		if e.t > s.now {
 			s.now = e.t
 		}
+		if s.tracer.Wants(trace.CatEvent) {
+			s.tracer.Emit(trace.Span{Cat: trace.CatEvent, Rank: -1, Start: int64(e.t), Aux: int64(e.seq)})
+		}
 		e.fire()
 	}
 	return s.now
@@ -145,6 +151,24 @@ func (s *Scheduler) Pending() int {
 		}
 	}
 	return n
+}
+
+// Leaked reports the events still pending in the queue — work Run walked
+// away from when it returned via Stop or a deadline — as a count plus the
+// earliest scheduled time. A clean run that drained its queue reports
+// zero. The harness surfaces this as Breakdown.LeakedEvents so hung-run
+// bugs stop masquerading as clean completions.
+func (s *Scheduler) Leaked() (n int, earliest Time) {
+	for _, e := range s.q {
+		if e.dead {
+			continue
+		}
+		if n == 0 || e.t < earliest {
+			earliest = e.t
+		}
+		n++
+	}
+	return n, earliest
 }
 
 // Config describes the simulated cluster hardware. The defaults approximate
@@ -199,11 +223,12 @@ func (n *Node) Alive() bool { return n.alive }
 
 // Cluster combines the scheduler, the node set, and the process table.
 type Cluster struct {
-	cfg   Config
-	sched *Scheduler
-	nodes []*Node
-	procs map[int]*Proc
-	next  int // next process id
+	cfg    Config
+	sched  *Scheduler
+	nodes  []*Node
+	procs  map[int]*Proc
+	next   int // next process id
+	tracer *trace.Recorder
 }
 
 // NewCluster builds a cluster with cfg (zero fields replaced by defaults).
@@ -251,6 +276,18 @@ func (c *Cluster) Config() Config { return c.cfg }
 // need timers, e.g. heartbeat detectors).
 func (c *Cluster) Scheduler() *Scheduler { return c.sched }
 
+// SetTracer attaches a trace recorder to the cluster (and its scheduler).
+// Every layer running on the cluster reaches the recorder through
+// Tracer(); nil — the default — disables all recording.
+func (c *Cluster) SetTracer(r *trace.Recorder) {
+	c.tracer = r
+	c.sched.tracer = r
+}
+
+// Tracer returns the attached trace recorder; nil means tracing is off,
+// and a nil *trace.Recorder is safe to emit into.
+func (c *Cluster) Tracer() *trace.Recorder { return c.tracer }
+
 // Now returns the current virtual time.
 func (c *Cluster) Now() Time { return c.sched.Now() }
 
@@ -272,6 +309,9 @@ func (c *Cluster) FailNode(id int) {
 		return
 	}
 	n.alive = false
+	if c.tracer.Wants(trace.CatNodeFail) {
+		c.tracer.Emit(trace.Span{Cat: trace.CatNodeFail, Rank: -1, Start: int64(c.sched.now), Aux: int64(id)})
+	}
 	// Deterministic kill order.
 	var victims []*Proc
 	for _, p := range c.procs {
@@ -320,6 +360,11 @@ func (c *Cluster) transferCost(f, t *Node, size int, now Time) (depart, arrive T
 // SendArrival computes (and charges to the sender's NIC) the arrival time of
 // a message of size bytes from node from to node to, sent at virtual now.
 func (c *Cluster) SendArrival(from, to int, size int, now Time) Time {
-	_, arrive := c.transferCost(c.nodes[from], c.nodes[to], size, now)
+	depart, arrive := c.transferCost(c.nodes[from], c.nodes[to], size, now)
+	if c.tracer.Wants(trace.CatTransfer) {
+		c.tracer.Emit(trace.Span{Cat: trace.CatTransfer, Rank: -1,
+			Start: int64(depart), Dur: int64(arrive - depart),
+			Level: int32(from), Aux: int64(size)})
+	}
 	return arrive
 }

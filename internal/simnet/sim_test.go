@@ -346,3 +346,37 @@ func TestClockMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Stop leaves later events in the queue without firing them — the silent
+// drop the Leaked diagnostic exists to surface. Cancelled events are dead
+// bookkeeping, not leaks.
+func TestSchedulerLeakedAfterStop(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.At(10, func() {
+		fired++
+		s.Stop()
+	})
+	s.At(30, func() { fired++ })
+	cancel := s.At(20, func() { fired++ })
+	cancel()
+	s.At(40, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Stop should halt the loop)", fired)
+	}
+	n, earliest := s.Leaked()
+	if n != 2 || earliest != 30 {
+		t.Fatalf("Leaked() = (%d, %v), want (2, 30): cancelled events must not count", n, earliest)
+	}
+}
+
+// A drained run leaks nothing.
+func TestSchedulerLeakedCleanRun(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {})
+	s.Run()
+	if n, _ := s.Leaked(); n != 0 {
+		t.Fatalf("Leaked() = %d after a drained run, want 0", n)
+	}
+}

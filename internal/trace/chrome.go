@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Track layout of the Chrome trace: pid 0 is the "runtime" process whose
+// threads carry cross-cutting activity (injector, detector, recovery,
+// policy, network, scheduler); each job incarnation is a process of its
+// own with one thread per (rank, replica).
+const (
+	tidInjector = iota
+	tidDetector
+	tidRecovery
+	tidPolicy
+	tidNetwork
+	tidScheduler
+)
+
+var runtimeTids = map[int32]string{
+	tidInjector:  "fault injector",
+	tidDetector:  "detector",
+	tidRecovery:  "recovery",
+	tidPolicy:    "ckpt policy",
+	tidNetwork:   "network",
+	tidScheduler: "scheduler",
+}
+
+// maxReplicas bounds the replica index folded into a rank thread id.
+const maxReplicas = 8
+
+// track maps a span to its Chrome (pid, tid). Rank-scoped phase activity
+// lands on the rank's own thread inside its job's process; everything
+// cross-cutting lands on a runtime thread.
+func track(s *Span) (pid, tid int32) {
+	switch s.Cat {
+	case CatCompute, CatCkpt, CatRestore, CatFinish, CatDegraded, CatSpawn:
+		if s.Rank >= 0 && s.Job > 0 {
+			rep := s.Replica
+			if rep < 0 {
+				rep = 0
+			}
+			if rep >= maxReplicas {
+				rep = maxReplicas - 1
+			}
+			return s.Job, s.Rank*maxReplicas + rep
+		}
+		return 0, tidRecovery
+	case CatInject, CatNodeFail:
+		return 0, tidInjector
+	case CatDetect, CatHeartbeat:
+		return 0, tidDetector
+	case CatRecovery, CatFailover, CatAbsorb, CatFallback, CatRepair:
+		return 0, tidRecovery
+	case CatPolicyAvoid, CatPolicyArm:
+		return 0, tidPolicy
+	case CatSend, CatCollective, CatDedup, CatTransfer:
+		return 0, tidNetwork
+	default: // CatEvent, CatLeak, anything future
+		return 0, tidScheduler
+	}
+}
+
+// WriteChrome serializes the trace in Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load): metadata events naming one process
+// per job and one thread per rank, then one "X" complete event per span
+// and one "i" instant per zero-duration mark. Timestamps are virtual
+// microseconds.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	type threadKey struct{ pid, tid int32 }
+	threads := make(map[threadKey]*Span)
+	pids := make(map[int32]bool)
+	for i := range r.Spans() {
+		s := &r.spans[i]
+		pid, tid := track(s)
+		pids[pid] = true
+		if _, ok := threads[threadKey{pid, tid}]; !ok {
+			threads[threadKey{pid, tid}] = s
+		}
+	}
+	pids[0] = true // always name the runtime process
+
+	var pidList []int32
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Slice(pidList, func(i, j int) bool { return pidList[i] < pidList[j] })
+	var threadList []threadKey
+	for k := range threads {
+		threadList = append(threadList, k)
+	}
+	sort.Slice(threadList, func(i, j int) bool {
+		if threadList[i].pid != threadList[j].pid {
+			return threadList[i].pid < threadList[j].pid
+		}
+		return threadList[i].tid < threadList[j].tid
+	})
+
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	for _, pid := range pidList {
+		name := "runtime"
+		if pid > 0 {
+			name = fmt.Sprintf("job %d", pid)
+		}
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, name)
+		emit(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`, pid, pid)
+	}
+	for _, k := range threadList {
+		var name string
+		if k.pid == 0 {
+			name = runtimeTids[k.tid]
+			if name == "" {
+				name = fmt.Sprintf("runtime %d", k.tid)
+			}
+		} else {
+			s := threads[k]
+			if s.Replica > 0 {
+				name = fmt.Sprintf("rank %d (replica %d)", s.Rank, s.Replica)
+			} else {
+				name = fmt.Sprintf("rank %d", s.Rank)
+			}
+		}
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, k.pid, k.tid, name)
+		emit(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`, k.pid, k.tid, k.tid)
+	}
+
+	us := func(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e3) }
+	for i := range r.Spans() {
+		s := &r.spans[i]
+		pid, tid := track(s)
+		if s.Dur > 0 {
+			emit(`{"name":%q,"cat":%q,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"rank":%d,"level":%d,"aux":%d}}`,
+				s.Cat.String(), s.Cat.String(), pid, tid, us(s.Start), us(s.Dur), s.Rank, s.Level, s.Aux)
+		} else {
+			emit(`{"name":%q,"cat":%q,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"rank":%d,"level":%d,"aux":%d}}`,
+				s.Cat.String(), s.Cat.String(), pid, tid, us(s.Start), s.Rank, s.Level, s.Aux)
+		}
+	}
+
+	bw.WriteString(`],"displayTimeUnit":"ms"}`)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}

@@ -5,6 +5,7 @@ import (
 
 	"match/internal/mpi"
 	"match/internal/simnet"
+	"match/internal/trace"
 )
 
 // CommRevoke is MPIX_Comm_revoke: reliably propagate revocation to every
@@ -191,6 +192,10 @@ func (rt *Runtime) RepairWorld(r *mpi.Rank, world *mpi.Comm) (*mpi.Comm, error) 
 			DetectedAt:  round.detected,
 			CompletedAt: r.Now(),
 		})
+		if tr := rt.job.Cluster().Tracer(); tr.Wants(trace.CatRepair) {
+			tr.Emit(trace.Span{Cat: trace.CatRepair, Rank: -1, Job: tr.JobOf(rt.job),
+				Start: int64(r.Now()), Aux: int64(len(world.FailedMembers()))})
+		}
 	}
 	rt.world = nw
 	rt.det.SetWorld(nw) // heartbeat the repaired membership (replacements in, failed out)

@@ -31,6 +31,7 @@ import (
 	"match/internal/detect"
 	"match/internal/fault"
 	"match/internal/replica"
+	"match/internal/trace"
 )
 
 // Re-exported harness types.
@@ -92,6 +93,10 @@ type (
 	// ReplicaTradeoff is one point of the campaign-level combined
 	// overhead-vs-ReplicaFactor curve (the PartRePer trade-off).
 	ReplicaTradeoff = core.ReplicaTradeoff
+	// Progress observes sweep execution cell by cell; set it as
+	// SuiteOptions.Progress or CampaignOptions.Progress. Write to stderr —
+	// stdout of deterministic sweeps is diffed by the CI determinism gate.
+	Progress = core.Progress
 )
 
 // The detection strategies (Config.Detector.Kind). PresetDetector — the
@@ -235,6 +240,35 @@ func Apps() []string { return apps.Names() }
 func RegisterApp(name string, factory func() App) error {
 	return apps.Register(name, func() appkit.App { return factory() })
 }
+
+// Execution-trace re-exports (internal/trace). Distinct from the
+// dependency-analysis Tracer below: a TraceRecorder captures the
+// simulation's own timeline — per-rank compute/checkpoint/recovery spans
+// plus injector/detector/runtime events — for Perfetto export and
+// Breakdown reconciliation.
+type (
+	// TraceRecorder collects spans from a run; allocate with
+	// NewTraceRecorder and set it as Config.Trace (one recorder per run).
+	TraceRecorder = trace.Recorder
+	// TraceSpan is one recorded event or interval.
+	TraceSpan = trace.Span
+	// TraceDetail selects which high-volume categories are recorded.
+	TraceDetail = trace.Detail
+	// TraceTotals are the phase sums a trace reconciles against.
+	TraceTotals = trace.Totals
+)
+
+// NewTraceRecorder returns an enabled execution-trace recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// ParseTraceDetail resolves a detail spec — a comma list of "messages",
+// "heartbeats", "sim", "all" — case-insensitively; the empty spec keeps
+// phase spans only.
+func ParseTraceDetail(spec string) (TraceDetail, error) { return trace.ParseDetail(spec) }
+
+// TraceTotalsOf converts a breakdown into the totals a trace recorder
+// reconciles against (Run already self-checks this when tracing).
+func TraceTotalsOf(bd Breakdown) TraceTotals { return core.TraceTotalsOf(bd) }
 
 // Dependency-analysis re-exports (Algorithm 1).
 type (

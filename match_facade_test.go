@@ -97,3 +97,36 @@ func TestFacadeCkptPolicy(t *testing.T) {
 		t.Fatal("facade accepted a negative placement stride")
 	}
 }
+
+func TestFacadeTraceRecorder(t *testing.T) {
+	detail, err := match.ParseTraceDetail("messages,sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := match.NewTraceRecorder()
+	rec.SetDetail(detail)
+	bd, err := match.Run(match.Config{
+		App:    "miniVite",
+		Design: match.UlfmFTI,
+		Procs:  8,
+		Nodes:  4,
+		Params: match.Params{NVerts: 512, MaxIter: 8, WorkScale: 10, CkptStride: 3},
+		Trace:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("traced facade run recorded no spans")
+	}
+	if err := rec.Reconcile(match.TraceTotalsOf(bd), false); err != nil {
+		t.Fatalf("facade trace failed reconciliation: %v", err)
+	}
+	var sb strings.Builder
+	if err := rec.WriteChrome(&sb); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"displayTimeUnit"`) {
+		t.Fatal("Chrome export missing displayTimeUnit")
+	}
+}
