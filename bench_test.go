@@ -281,6 +281,39 @@ func BenchmarkAblationUlfmProgressFactor(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignThroughput measures end-to-end simulator throughput on
+// a representative multi-design, multi-axis campaign sweep: two
+// applications, all four designs, k = 0..2 scheduled failures, and the
+// hot-spare axis on the replica design (30 cells). It reports cells/sec —
+// host campaign cells simulated per wall-clock second, the suite's
+// headline throughput number — alongside campaign_virt_s, the summed
+// virtual time of every cell, which is deterministic and gated like any
+// other figure. cells/sec is recorded by matchbench as a trend, never
+// gated on absolute value (machines differ), but CI soft-gates egregious
+// regressions via -wall-tol.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	opts := core.CampaignOptions{
+		Apps:      []string{"HPCCG", "miniVite"},
+		MaxFaults: 2,
+		Seed:      7,
+		HotSpares: []bool{false, true},
+	}
+	cells := len(core.CampaignConfigs(opts))
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		results, err := core.RunCampaign(opts, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = 0
+		for _, r := range results {
+			virt += r.Breakdown.Total.Seconds()
+		}
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+	b.ReportMetric(virt, "campaign_virt_s")
+}
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkMPIAllreduce measures the simulated collective path (host cost

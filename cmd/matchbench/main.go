@@ -16,7 +16,14 @@
 // Both the `go test -json` stream and raw benchmark output are accepted.
 // Host-dependent metrics (ns/op, B/op, allocs/op, MB/s) are excluded from
 // the extraction; everything else a benchmark reports is virtual-time
-// derived and gated.
+// derived and gated. Two host-speed series ride along without being part
+// of the deterministic gate: per-benchmark wall-clock (wall_ms, from
+// ns/op) and throughput metrics (cells/sec). Both are reported as trends
+// on every comparison, can be appended to a JSONL trajectory with -trend,
+// and are soft-gated — failing only on egregious regressions — when
+// -wall-tol is set (e.g. -wall-tol 2.0 fails on a 2x slowdown). Subset
+// runs (a single benchmark against the full baseline) pass -allow-missing
+// so absent figures warn instead of fail.
 package main
 
 import (
@@ -31,12 +38,20 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // hostUnits are benchmark metrics measured in host time or host memory —
 // noisy by nature, excluded from the deterministic figure set.
 var hostUnits = map[string]bool{
 	"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true,
+}
+
+// throughputUnits are host-dependent like hostUnits, but tracked as named
+// trend series (and soft-gated by -wall-tol) rather than dropped: they are
+// the suite's simulator-speed headline numbers.
+var throughputUnits = map[string]bool{
+	"cells/sec": true,
 }
 
 // benchLine matches a benchmark result line: name, iteration count, then
@@ -60,6 +75,10 @@ type baseline struct {
 	Comment string             `json:"comment,omitempty"`
 	Figures map[string]float64 `json:"figures"`
 	WallMs  map[string]float64 `json:"wall_ms,omitempty"`
+	// Throughput holds host-speed trend series ("Benchmark/cells/sec").
+	// Like WallMs it is machine-dependent; unlike the figures it is only
+	// soft-gated, and only when -wall-tol is set.
+	Throughput map[string]float64 `json:"throughput,omitempty"`
 }
 
 func main() {
@@ -67,9 +86,16 @@ func main() {
 	out := flag.String("out", "", "write the extracted figures as JSON (e.g. BENCH_ci.json)")
 	basePath := flag.String("baseline", "", "compare against this baseline JSON and fail on drift")
 	tol := flag.Float64("tol", 0.10, "allowed relative drift per figure before failing")
+	wallTol := flag.Float64("wall-tol", 0, "soft host-speed gate: fail when wall_ms grows, or throughput drops, by more than this factor (e.g. 2.0 = 2x); 0 disables")
+	allowMissing := flag.Bool("allow-missing", false, "warn instead of fail on baseline figures absent from this run (for subset bench runs)")
+	trendPath := flag.String("trend", "", "append this run's wall_ms and throughput as one JSON line to the given file (host-speed trajectory record)")
 	flag.Parse()
 	if *tol < 0 {
 		fmt.Fprintf(os.Stderr, "matchbench: -tol %g invalid (want >= 0)\n", *tol)
+		os.Exit(2)
+	}
+	if *wallTol != 0 && *wallTol < 1 {
+		fmt.Fprintf(os.Stderr, "matchbench: -wall-tol %g invalid (want 0 to disable, or >= 1)\n", *wallTol)
 		os.Exit(2)
 	}
 
@@ -82,7 +108,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	figures, wallMs, err := extract(r)
+	figures, wallMs, thrpt, err := extract(r)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,9 +119,10 @@ func main() {
 
 	if *out != "" {
 		b, err := json.MarshalIndent(baseline{
-			Comment: "deterministic figure-level benchmark metrics (virtual seconds/ratios); wall_ms is host wall-clock, a trend only; regenerate with: go test -run='^$' -bench=. -benchtime=1x . | go run ./cmd/matchbench -out BENCH_baseline.json",
-			Figures: figures,
-			WallMs:  wallMs,
+			Comment:    "deterministic figure-level benchmark metrics (virtual seconds/ratios); wall_ms and throughput are host speed, trends only; regenerate with: go test -run='^$' -bench=. -benchtime=1x . | go run ./cmd/matchbench -out BENCH_baseline.json",
+			Figures:    figures,
+			WallMs:     wallMs,
+			Throughput: thrpt,
 		}, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -104,6 +131,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("matchbench: wrote %s\n", *out)
+	}
+	if *trendPath != "" {
+		if err := appendTrend(*trendPath, wallMs, thrpt); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("matchbench: appended host-speed trend entry to %s\n", *trendPath)
 	}
 
 	if *basePath == "" {
@@ -118,22 +151,79 @@ func main() {
 		fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
 	}
 	reportWallTrend(base.WallMs, wallMs)
-	if code := compare(base.Figures, figures, *tol); code != 0 {
-		os.Exit(code)
+	reportThroughputTrend(base.Throughput, thrpt)
+	code := compare(base.Figures, figures, *tol, *allowMissing)
+	if *wallTol > 0 {
+		code += hostSpeedGate(base, wallMs, thrpt, *wallTol)
+	}
+	if code != 0 {
+		os.Exit(1)
 	}
 	fmt.Printf("matchbench: all %d baseline figures within %.0f%% of %s\n",
 		len(base.Figures), 100**tol, *basePath)
+}
+
+// appendTrend records one JSON line of host-speed numbers per invocation,
+// building the throughput trajectory across CI runs. The file is
+// append-only JSONL so concurrent-ish CI jobs and local runs interleave
+// without a merge step.
+func appendTrend(path string, wallMs, thrpt map[string]float64) error {
+	entry := struct {
+		Time       string             `json:"time"`
+		WallMs     map[string]float64 `json:"wall_ms,omitempty"`
+		Throughput map[string]float64 `json:"throughput,omitempty"`
+	}{Time: time.Now().UTC().Format(time.RFC3339), WallMs: wallMs, Throughput: thrpt}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(b, '\n'))
+	return err
+}
+
+// hostSpeedGate is the soft wall-clock gate: unlike the figure gate it
+// tolerates ordinary machine variance (the factor should be generous, e.g.
+// 2.0) and only fails on egregious regressions — wall time growing, or
+// throughput shrinking, past factor x baseline. Benchmarks present in only
+// one side are ignored; -allow-missing semantics are implicit here.
+func hostSpeedGate(base baseline, wallMs, thrpt map[string]float64, factor float64) int {
+	failed := 0
+	for _, k := range sortedCommonKeys(base.WallMs, wallMs) {
+		was, now := base.WallMs[k], wallMs[k]
+		if was > 0 && now > was*factor {
+			fmt.Printf("FAIL %-60s wall %.1fms -> %.1fms, beyond the %gx soft gate\n", k, was, now, factor)
+			failed++
+		}
+	}
+	for _, k := range sortedCommonKeys(base.Throughput, thrpt) {
+		was, now := base.Throughput[k], thrpt[k]
+		if was > 0 && now < was/factor {
+			fmt.Printf("FAIL %-60s throughput %.4g -> %.4g, beyond the %gx soft gate\n", k, was, now, factor)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("matchbench: %d host-speed serie(s) regressed beyond %gx — investigate or reseed the baseline on this machine\n", failed, factor)
+	}
+	return failed
 }
 
 // extract pulls the figure map out of benchmark output, accepting both the
 // go test -json event stream and raw text. The event stream splits one
 // result line across several output events (the name fragment carries no
 // newline), so fragments are reassembled per test before parsing. The
-// second map is per-benchmark host wall-clock (ns/op rendered as ms) —
-// kept apart from the figures because it is machine noise, not a gate.
-func extract(r io.Reader) (map[string]float64, map[string]float64, error) {
+// second map is per-benchmark host wall-clock (ns/op rendered as ms) and
+// the third is the throughput series — both kept apart from the figures
+// because they are machine speed, not deterministic model output.
+func extract(r io.Reader) (map[string]float64, map[string]float64, map[string]float64, error) {
 	figures := map[string]float64{}
 	wallMs := map[string]float64{}
+	thrpt := map[string]float64{}
 	partial := map[string]string{} // per (package, test): unterminated output fragment
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -152,24 +242,25 @@ func extract(r io.Reader) (map[string]float64, map[string]float64, error) {
 					if nl < 0 {
 						break
 					}
-					parseLine(figures, wallMs, buf[:nl])
+					parseLine(figures, wallMs, thrpt, buf[:nl])
 					buf = buf[nl+1:]
 				}
 				partial[key] = buf
 				continue
 			}
 		}
-		parseLine(figures, wallMs, line)
+		parseLine(figures, wallMs, thrpt, line)
 	}
 	for _, rest := range partial {
-		parseLine(figures, wallMs, rest)
+		parseLine(figures, wallMs, thrpt, rest)
 	}
-	return figures, wallMs, sc.Err()
+	return figures, wallMs, thrpt, sc.Err()
 }
 
-// parseLine records the custom metrics of one benchmark result line, and
-// its ns/op as the wall_ms trend entry.
-func parseLine(figures, wallMs map[string]float64, line string) {
+// parseLine records the custom metrics of one benchmark result line, its
+// ns/op as the wall_ms trend entry, and any throughput units as the
+// throughput trend entry.
+func parseLine(figures, wallMs, thrpt map[string]float64, line string) {
 	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 	if m == nil {
 		return
@@ -186,6 +277,10 @@ func parseLine(figures, wallMs map[string]float64, line string) {
 			wallMs[name] = v / 1e6
 			continue
 		}
+		if throughputUnits[unit] {
+			thrpt[name+"/"+unit] = v
+			continue
+		}
 		if hostUnits[unit] {
 			continue
 		}
@@ -198,17 +293,7 @@ func parseLine(figures, wallMs map[string]float64, line string) {
 // so it never fails the gate — it exists to make slow drifts visible in CI
 // logs before they become painful.
 func reportWallTrend(base, cur map[string]float64) {
-	if len(base) == 0 || len(cur) == 0 {
-		return
-	}
-	keys := make([]string, 0, len(base))
-	for k := range base {
-		if _, ok := cur[k]; ok {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedCommonKeys(base, cur) {
 		was, now := base[k], cur[k]
 		pct := ""
 		if was > 0 {
@@ -216,6 +301,32 @@ func reportWallTrend(base, cur map[string]float64) {
 		}
 		fmt.Printf("wall %-60s %.1fms -> %.1fms%s [trend, not gated]\n", k, was, now, pct)
 	}
+}
+
+// reportThroughputTrend is the throughput analogue of reportWallTrend:
+// cells/sec movement against the baseline, informational unless -wall-tol
+// turns on the soft gate.
+func reportThroughputTrend(base, cur map[string]float64) {
+	for _, k := range sortedCommonKeys(base, cur) {
+		was, now := base[k], cur[k]
+		pct := ""
+		if was > 0 {
+			pct = fmt.Sprintf(" (%+.0f%%)", 100*(now-was)/was)
+		}
+		fmt.Printf("thrpt %-59s %.4g -> %.4g%s [trend]\n", k, was, now, pct)
+	}
+}
+
+// sortedCommonKeys returns the sorted keys present in both maps.
+func sortedCommonKeys(a, b map[string]float64) []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		if _, ok := b[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func benchCount(figures map[string]float64) int {
@@ -227,9 +338,11 @@ func benchCount(figures map[string]float64) int {
 }
 
 // compare reports drift of current figures against the baseline. Missing
-// figures fail (a benchmark or metric silently disappeared); new figures
-// only warn (they need a baseline reseed, not a red build).
-func compare(base, cur map[string]float64, tol float64) int {
+// figures fail (a benchmark or metric silently disappeared) unless
+// allowMissing is set — subset runs like the throughput-only CI job
+// legitimately skip most of the suite; new figures only warn (they need a
+// baseline reseed, not a red build).
+func compare(base, cur map[string]float64, tol float64, allowMissing bool) int {
 	keys := make([]string, 0, len(base))
 	for k := range base {
 		keys = append(keys, k)
@@ -240,6 +353,9 @@ func compare(base, cur map[string]float64, tol float64) int {
 		want := base[k]
 		got, ok := cur[k]
 		if !ok {
+			if allowMissing {
+				continue
+			}
 			fmt.Printf("FAIL %-60s baseline %.6g, missing from this run\n", k, want)
 			failed++
 			continue

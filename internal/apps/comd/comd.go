@@ -180,7 +180,7 @@ func (a *App) exchangeGhosts(ctx *appkit.Context) error {
 		if err != nil {
 			return err
 		}
-		for _, m := range []*mpi.Message{ml, mh} {
+		for _, m := range []mpi.Message{ml, mh} {
 			vals := enc.BytesToFloat64s(m.Data)
 			for i := 0; i+2 < len(vals); i += 3 {
 				a.gx = append(a.gx, vals[i])
@@ -377,7 +377,7 @@ func (a *App) migrate(ctx *appkit.Context) error {
 		if err != nil {
 			return err
 		}
-		for _, m := range []*mpi.Message{ml, mh} {
+		for _, m := range []mpi.Message{ml, mh} {
 			vals := enc.BytesToFloat64s(m.Data)
 			for i := 0; i+5 < len(vals); i += 6 {
 				a.x = append(a.x, vals[i])

@@ -270,14 +270,21 @@ func New(cfg Config, job *mpi.Job, onDetect func(Failure)) (Detector, error) {
 		return &launcherDetector{base: b}, nil
 	case Ring:
 		d := &ringDetector{base: b}
-		job.Cluster().Scheduler().After(cfg.HeartbeatPeriod, d.tick)
+		job.Cluster().Scheduler().AfterFunc(cfg.HeartbeatPeriod, ringTick, d, 0)
 		return d, nil
 	default: // Tree; Validate rejected everything else
 		d := &treeDetector{base: b}
-		job.Cluster().Scheduler().After(cfg.HeartbeatPeriod, d.tick)
+		job.Cluster().Scheduler().AfterFunc(cfg.HeartbeatPeriod, treeTick, d, 0)
 		return d, nil
 	}
 }
+
+// ringTick and treeTick are the static heartbeat event bodies: scheduling
+// a method value (d.tick) allocates a bound-method closure per round, and
+// heartbeats fire every period for the whole run, so the periodic
+// detectors ride the scheduler's closure-free path instead.
+func ringTick(a any, _ int64) { a.(*ringDetector).tick() }
+func treeTick(a any, _ int64) { a.(*treeDetector).tick() }
 
 // MustNew is New for contexts where the configuration was already
 // validated (core.Run validates before launching); it panics on error.

@@ -69,5 +69,5 @@ func (d *ringDetector) tick() {
 	if allExited {
 		return
 	}
-	cl.Scheduler().After(d.cfg.HeartbeatPeriod, d.tick)
+	cl.Scheduler().AfterFunc(d.cfg.HeartbeatPeriod, ringTick, d, 0)
 }

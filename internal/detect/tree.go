@@ -81,5 +81,5 @@ func (d *treeDetector) tick() {
 	if allExited {
 		return // job finished; let the scheduler drain
 	}
-	cl.Scheduler().After(d.cfg.HeartbeatPeriod, d.tick)
+	cl.Scheduler().AfterFunc(d.cfg.HeartbeatPeriod, treeTick, d, 0)
 }

@@ -1,0 +1,26 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// The per-message cost of the point-to-point path must be allocation-free
+// in steady state: delivery records are pooled on the Job and mailboxes
+// hold Message values. Launch/cluster setup does allocate, so the test
+// measures the *marginal* cost of 1000 extra ping-pong rounds (2000 extra
+// messages) between two otherwise identical runs. Skipped under -short:
+// CI's race job runs -short, and the race detector perturbs allocation
+// counts.
+func TestMessagePathSteadyStateAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -race (-short)")
+	}
+	payload := make([]byte, 64)
+	short := testing.AllocsPerRun(5, func() { benchPingPong(100, payload) })
+	long := testing.AllocsPerRun(5, func() { benchPingPong(1100, payload) })
+	perMsg := (long - short) / 2000
+	if perMsg > 0.05 {
+		t.Fatalf("message path allocates in steady state: %.3f allocs/message "+
+			"(run 100 rounds: %.0f allocs, 1100 rounds: %.0f allocs)", perMsg, short, long)
+	}
+}

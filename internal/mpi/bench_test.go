@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"testing"
+
+	"match/internal/simnet"
+)
+
+// benchPingPong runs rounds of a two-rank ping-pong and returns the
+// cluster's final virtual time. Each round is two sends and two receives —
+// the minimal closed loop through the full message path (overheads, NIC
+// charging, delivery event, mailbox match, block/unblock).
+func benchPingPong(rounds int, payload []byte) simnet.Time {
+	c := simnet.NewCluster(simnet.Config{Nodes: 2})
+	Launch(c, 2, 0, func(r *Rank) {
+		w := r.Job().World()
+		me := r.Rank(w)
+		for k := 0; k < rounds; k++ {
+			if me == 0 {
+				if err := Send(r, w, 1, 1, payload); err != nil {
+					panic(err)
+				}
+				if _, err := Recv(r, w, 1, 2); err != nil {
+					panic(err)
+				}
+			} else {
+				if _, err := Recv(r, w, 0, 1); err != nil {
+					panic(err)
+				}
+				if err := Send(r, w, 0, 2, payload); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	return c.Run()
+}
+
+// BenchmarkMessagePath measures the host cost of the point-to-point hot
+// path: 1000 ping-pong rounds (2000 messages) per op, so per-message cost
+// is allocs/op divided by 2000. Run with -benchmem; the steady-state
+// message path must not allocate (launch and mailbox growth amortize).
+func BenchmarkMessagePath(b *testing.B) {
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPingPong(1000, payload)
+	}
+}
+
+// BenchmarkAllreducePath measures the collective path: 64 ranks on 8
+// nodes, ten scalar allreduces each, exercising the binomial reduce and
+// broadcast trees over the message layer.
+func BenchmarkAllreducePath(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := simnet.NewCluster(simnet.Config{Nodes: 8})
+		Launch(c, 64, 0, func(r *Rank) {
+			w := r.Job().World()
+			for k := 0; k < 10; k++ {
+				if _, err := AllreduceF64Scalar(r, w, 1.0, OpSum); err != nil {
+					panic(err)
+				}
+			}
+		})
+		c.Run()
+	}
+}

@@ -99,6 +99,67 @@ func reduceI64(op Op, acc, in []int64) {
 	}
 }
 
+// Combiner tables: one merge function per (operator, element type), built
+// once at init. reduceTree used to take a fresh closure per collective
+// call; indexing a package-level table keeps the collective hot path from
+// allocating for the combiner.
+var (
+	f64Combiners = [...]func(acc, in []byte) []byte{
+		OpSum:  f64CombinerFor(OpSum),
+		OpMax:  f64CombinerFor(OpMax),
+		OpMin:  f64CombinerFor(OpMin),
+		OpProd: f64CombinerFor(OpProd),
+	}
+	i64Combiners = [...]func(acc, in []byte) []byte{
+		OpSum:  i64CombinerFor(OpSum),
+		OpMax:  i64CombinerFor(OpMax),
+		OpMin:  i64CombinerFor(OpMin),
+		OpProd: i64CombinerFor(OpProd),
+		OpBAnd: i64CombinerFor(OpBAnd),
+		OpBOr:  i64CombinerFor(OpBOr),
+	}
+	// keepAcc ignores the contribution: the degenerate combiner Barrier
+	// uses (a barrier is a reduction of nothing).
+	keepAcc = func(acc, _ []byte) []byte { return acc }
+)
+
+func f64CombinerFor(op Op) func(acc, in []byte) []byte {
+	return func(acc, in []byte) []byte {
+		a := enc.BytesToFloat64s(acc)
+		reduceF64(op, a, enc.BytesToFloat64s(in))
+		return enc.Float64sToBytes(a)
+	}
+}
+
+func i64CombinerFor(op Op) func(acc, in []byte) []byte {
+	return func(acc, in []byte) []byte {
+		a := enc.BytesToInt64s(acc)
+		reduceI64(op, a, enc.BytesToInt64s(in))
+		return enc.Int64sToBytes(a)
+	}
+}
+
+// f64Combiner returns the float64 merge function for op, panicking on
+// operators not defined for float64 (same contract as reduceF64).
+func f64Combiner(op Op) func(acc, in []byte) []byte {
+	if int(op) < len(f64Combiners) {
+		if cb := f64Combiners[op]; cb != nil {
+			return cb
+		}
+	}
+	panic("mpi: operator not defined for float64: " + op.String())
+}
+
+// i64Combiner returns the int64 merge function for op.
+func i64Combiner(op Op) func(acc, in []byte) []byte {
+	if int(op) < len(i64Combiners) {
+		if cb := i64Combiners[op]; cb != nil {
+			return cb
+		}
+	}
+	panic("mpi: unknown operator: " + op.String())
+}
+
 // collective tag space: negative tags derived from a per-comm sequence
 // number that advances identically on every rank (collectives are SPMD).
 const collTagBase = -1000
@@ -182,7 +243,7 @@ func reduceTree(r *Rank, c *Comm, root, tag int, local []byte, combine func(acc,
 // Barrier blocks until every rank of comm has entered it.
 func Barrier(r *Rank, c *Comm) error {
 	tag := r.nextCollTag(c)
-	_, err := reduceTree(r, c, 0, tag, nil, func(acc, _ []byte) []byte { return acc })
+	_, err := reduceTree(r, c, 0, tag, nil, keepAcc)
 	if err != nil {
 		return err
 	}
@@ -225,11 +286,7 @@ func BcastF64(r *Rank, c *Comm, root int, vals []float64) ([]float64, error) {
 func ReduceF64(r *Rank, c *Comm, root int, vals []float64, op Op) ([]float64, error) {
 	tag := r.nextCollTag(c)
 	local := enc.Float64sToBytes(vals)
-	out, err := reduceTree(r, c, root, tag, local, func(acc, in []byte) []byte {
-		a := enc.BytesToFloat64s(acc)
-		reduceF64(op, a, enc.BytesToFloat64s(in))
-		return enc.Float64sToBytes(a)
-	})
+	out, err := reduceTree(r, c, root, tag, local, f64Combiner(op))
 	if err != nil || out == nil {
 		return nil, err
 	}
@@ -240,11 +297,7 @@ func ReduceF64(r *Rank, c *Comm, root int, vals []float64, op Op) ([]float64, er
 func AllreduceF64(r *Rank, c *Comm, vals []float64, op Op) ([]float64, error) {
 	tag := r.nextCollTag(c)
 	local := enc.Float64sToBytes(vals)
-	out, err := reduceTree(r, c, 0, tag, local, func(acc, in []byte) []byte {
-		a := enc.BytesToFloat64s(acc)
-		reduceF64(op, a, enc.BytesToFloat64s(in))
-		return enc.Float64sToBytes(a)
-	})
+	out, err := reduceTree(r, c, 0, tag, local, f64Combiner(op))
 	if err != nil {
 		return nil, err
 	}
@@ -259,11 +312,7 @@ func AllreduceF64(r *Rank, c *Comm, vals []float64, op Op) ([]float64, error) {
 func AllreduceI64(r *Rank, c *Comm, vals []int64, op Op) ([]int64, error) {
 	tag := r.nextCollTag(c)
 	local := enc.Int64sToBytes(vals)
-	out, err := reduceTree(r, c, 0, tag, local, func(acc, in []byte) []byte {
-		a := enc.BytesToInt64s(acc)
-		reduceI64(op, a, enc.BytesToInt64s(in))
-		return enc.Int64sToBytes(a)
-	})
+	out, err := reduceTree(r, c, 0, tag, local, i64Combiner(op))
 	if err != nil {
 		return nil, err
 	}

@@ -52,7 +52,7 @@ type Process struct {
 	proc   *simnet.Proc
 	failed bool
 
-	mbox     []*Message
+	mbox     []Message   // delivered, unmatched messages (values: no per-message allocation)
 	blocked  bool        // parked inside a messaging wait
 	inflight map[int]int // srcGID -> messages sent but not yet delivered
 
@@ -150,6 +150,12 @@ type Job struct {
 	// communication share, i.e. with scale and input size — the trend the
 	// paper reports for ULFM-FTI.
 	DeliveryFactor float64
+
+	// freeDel is the free list of in-flight delivery records: one record
+	// rides the scheduler per physical copy on the wire and is recycled as
+	// soon as the copy is delivered (or dropped), so the steady-state
+	// message path allocates nothing per send.
+	freeDel []*delivery
 
 	Stats Stats
 }
@@ -279,11 +285,16 @@ func (j *Job) Abort() {
 }
 
 // BumpEpoch invalidates all in-flight messages and clears mailboxes:
-// Reinit's global reset uses this to flush communication state.
+// Reinit's global reset uses this to flush communication state. Mailbox
+// capacity is retained for reuse across incarnations; the flushed entries
+// are zeroed so their payloads can be collected.
 func (j *Job) BumpEpoch() {
 	j.epoch++
 	for _, p := range j.procs {
-		p.mbox = nil
+		for i := range p.mbox {
+			p.mbox[i] = Message{}
+		}
+		p.mbox = p.mbox[:0]
 	}
 }
 

@@ -5,6 +5,33 @@ import (
 	"match/internal/trace"
 )
 
+// delivery is the runtime's send record: one rides the scheduler per
+// physical copy on the wire. Records are pooled on the Job and recycled
+// the moment the copy is delivered, suppressed, or dropped, and the
+// delivery event itself is a static function with the record as its
+// argument — so the steady-state message path performs no allocation.
+type delivery struct {
+	to  *Process
+	msg Message
+}
+
+// getDelivery takes a send record from the free list.
+func (j *Job) getDelivery() *delivery {
+	if n := len(j.freeDel); n > 0 {
+		d := j.freeDel[n-1]
+		j.freeDel = j.freeDel[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+// putDelivery recycles a send record, dropping its payload reference.
+func (j *Job) putDelivery(d *delivery) {
+	d.to = nil
+	d.msg = Message{}
+	j.freeDel = append(j.freeDel, d)
+}
+
 // Send posts a point-to-point message to rank dst of comm. Sends are eager:
 // the runtime buffers the payload, so Send never blocks waiting for the
 // receiver (it only charges the sender-side overhead and NIC time). A send
@@ -56,46 +83,22 @@ func (r *Rank) sendCopy(c *Comm, to *Process, srcRank, tag int, data []byte, rep
 	}
 	r.proc.lastArr[to.gid] = arrive
 
-	msg := &Message{
+	j := r.job
+	d := j.getDelivery()
+	d.to = to
+	d.msg = Message{
 		Ctx:        c.ctx,
 		SrcGID:     r.proc.gid,
 		SrcRank:    srcRank,
 		Tag:        tag,
 		Data:       data,
 		arrival:    arrive,
-		epoch:      r.job.epoch,
+		epoch:      j.epoch,
 		replicated: replicated,
 		seq:        seq,
 	}
-	j := r.job
 	to.inflight[r.proc.gid]++
-	cl.Scheduler().At(arrive, func() {
-		to.inflight[msg.SrcGID]--
-		if msg.epoch != j.epoch {
-			return // flushed by a Reinit reset
-		}
-		if to.failed || to.proc == nil || to.proc.Exited() {
-			return // dropped on the floor, like a real NIC
-		}
-		if msg.replicated {
-			key := seqKey(msg.Ctx, msg.SrcRank)
-			if msg.seq < to.recvSeq[key] {
-				j.Stats.Suppressed++
-				if tr := cl.Tracer(); tr.Wants(trace.CatDedup) {
-					tr.Emit(trace.Span{Cat: trace.CatDedup, Rank: int32(msg.SrcRank),
-						Job: tr.JobOf(j), Start: int64(arrive), Aux: int64(msg.seq)})
-				}
-				return // duplicate copy from a twin replica
-			}
-			to.recvSeq[key] = msg.seq + 1
-		}
-		to.mbox = append(to.mbox, msg)
-		if to.blocked {
-			to.proc.Unblock(arrive)
-		}
-		// A rank blocked in Recv may be woken by unrelated events; waking on
-		// every delivery keeps the wait loop simple and correct.
-	})
+	cl.Scheduler().AtFunc(arrive, deliverMessage, d, 0)
 	j.Stats.Messages++
 	j.Stats.Bytes += int64(len(data))
 	if tr := cl.Tracer(); tr.Wants(trace.CatSend) {
@@ -106,10 +109,50 @@ func (r *Rank) sendCopy(c *Comm, to *Process, srcRank, tag int, data []byte, rep
 	return nil
 }
 
+// deliverMessage is the static delivery-event body: it lands one physical
+// copy at its receiver (or drops it) and recycles the send record.
+func deliverMessage(a any, _ int64) {
+	d := a.(*delivery)
+	to := d.to
+	j := to.job
+	msg := &d.msg
+	to.inflight[msg.SrcGID]--
+	if msg.epoch != j.epoch {
+		j.putDelivery(d)
+		return // flushed by a Reinit reset
+	}
+	if to.failed || to.proc == nil || to.proc.Exited() {
+		j.putDelivery(d)
+		return // dropped on the floor, like a real NIC
+	}
+	arrive := msg.arrival
+	if msg.replicated {
+		key := seqKey(msg.Ctx, msg.SrcRank)
+		if msg.seq < to.recvSeq[key] {
+			j.Stats.Suppressed++
+			if tr := j.cluster.Tracer(); tr.Wants(trace.CatDedup) {
+				tr.Emit(trace.Span{Cat: trace.CatDedup, Rank: int32(msg.SrcRank),
+					Job: tr.JobOf(j), Start: int64(arrive), Aux: int64(msg.seq)})
+			}
+			j.putDelivery(d)
+			return // duplicate copy from a twin replica
+		}
+		to.recvSeq[key] = msg.seq + 1
+	}
+	to.mbox = append(to.mbox, d.msg)
+	j.putDelivery(d)
+	if to.blocked {
+		to.proc.Unblock(arrive)
+	}
+	// A rank blocked in Recv may be woken by unrelated events; waking on
+	// every delivery keeps the wait loop simple and correct.
+}
+
 // match removes and returns the first mailbox message matching the
-// (comm, src, tag) triple, or nil.
-func (p *Process) match(ctx, srcRank, tag int) *Message {
-	for i, m := range p.mbox {
+// (comm, src, tag) triple.
+func (p *Process) match(ctx, srcRank, tag int) (Message, bool) {
+	for i := range p.mbox {
+		m := &p.mbox[i]
 		if m.Ctx != ctx {
 			continue
 		}
@@ -119,10 +162,14 @@ func (p *Process) match(ctx, srcRank, tag int) *Message {
 		if tag != AnyTag && m.Tag != tag {
 			continue
 		}
-		p.mbox = append(p.mbox[:i], p.mbox[i+1:]...)
-		return m
+		out := *m
+		n := len(p.mbox) - 1
+		copy(p.mbox[i:], p.mbox[i+1:])
+		p.mbox[n] = Message{}
+		p.mbox = p.mbox[:n]
+		return out, true
 	}
-	return nil
+	return Message{}, false
 }
 
 // Recv blocks until a message matching (src, tag) arrives on comm. src may
@@ -130,13 +177,13 @@ func (p *Process) match(ctx, srcRank, tag int) *Message {
 // waiting, Recv returns ErrRevoked; if the awaited sender's failure is
 // detected, ErrProcFailed. An undetected failure hangs — that is the
 // whole point of failure detectors.
-func Recv(r *Rank, c *Comm, src, tag int) (*Message, error) {
+func Recv(r *Rank, c *Comm, src, tag int) (Message, error) {
 	r.chargeOverheads()
 	for {
 		if err := r.opError(c); err != nil {
-			return nil, err
+			return Message{}, err
 		}
-		if m := r.proc.match(c.ctx, src, tag); m != nil {
+		if m, ok := r.proc.match(c.ctx, src, tag); ok {
 			r.sp.Compute(r.job.cluster.Config().RecvOverhead)
 			return m, nil
 		}
@@ -147,23 +194,23 @@ func Recv(r *Rank, c *Comm, src, tag int) (*Message, error) {
 				// dead group hangs until the replica runtime's checkpoint
 				// fallback aborts the job.
 				if err := r.replicaGroupGone(c, src); err != nil {
-					return nil, err
+					return Message{}, err
 				}
 			} else {
 				from := c.Member(src)
 				if from.failed && r.job.Detected(from.gid) {
-					return nil, ErrProcFailed
+					return Message{}, ErrProcFailed
 				}
 				if !from.failed && from.proc != nil && from.proc.Exited() &&
 					r.proc.inflight[from.gid] == 0 {
 					// Peer finished the program without sending: protocol bug,
 					// or a rank outliving its peers. Fail fast instead of
 					// deadlocking the simulation.
-					return nil, ErrRankExited
+					return Message{}, ErrRankExited
 				}
 			}
 		} else if c.repl == nil && anyDetectedFailure(c, r.job) {
-			return nil, ErrProcFailed
+			return Message{}, ErrProcFailed
 		}
 		r.proc.blocked = true
 		r.sp.Block()
@@ -183,7 +230,8 @@ func anyDetectedFailure(c *Comm, j *Job) bool {
 // Iprobe reports whether a matching message is already available, without
 // receiving it.
 func Iprobe(r *Rank, c *Comm, src, tag int) bool {
-	for _, m := range r.proc.mbox {
+	for i := range r.proc.mbox {
+		m := &r.proc.mbox[i]
 		if m.Ctx != c.ctx {
 			continue
 		}
@@ -201,9 +249,9 @@ func Iprobe(r *Rank, c *Comm, src, tag int) bool {
 // Sendrecv posts a send to dst and then receives from src; because sends
 // are eager this is deadlock-free in any order across ranks (the standard
 // halo-exchange primitive).
-func Sendrecv(r *Rank, c *Comm, dst, sendTag int, data []byte, src, recvTag int) (*Message, error) {
+func Sendrecv(r *Rank, c *Comm, dst, sendTag int, data []byte, src, recvTag int) (Message, error) {
 	if err := Send(r, c, dst, sendTag, data); err != nil {
-		return nil, err
+		return Message{}, err
 	}
 	return Recv(r, c, src, recvTag)
 }

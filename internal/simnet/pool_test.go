@@ -1,0 +1,241 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// Cancelled events must leave the queue immediately — the old tombstone
+// implementation retained every cancelled event's closure until its pop
+// time, so a long-lived scheduler leaked arbitrary state.
+func TestCancelRemovesEventImmediately(t *testing.T) {
+	s := NewScheduler()
+	var timers []Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.At(Time(1000+i), func() {}))
+	}
+	if got := s.Pending(); got != 100 {
+		t.Fatalf("Pending() = %d, want 100", got)
+	}
+	for i, tm := range timers {
+		if !s.Cancel(tm) {
+			t.Fatalf("Cancel(#%d) reported nothing removed", i)
+		}
+		if got, want := s.Pending(), 100-i-1; got != want {
+			t.Fatalf("Pending() = %d after %d cancels, want %d (eager removal)", got, i+1, want)
+		}
+	}
+	if n, _ := s.Leaked(); n != 0 {
+		t.Fatalf("Leaked() = %d after cancelling everything, want 0", n)
+	}
+}
+
+// Cancel must be a no-op (and say so) on timers whose event already fired,
+// was already cancelled, or never existed (the zero Timer).
+func TestCancelStaleTimers(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	tm := s.At(10, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Cancel(tm) {
+		t.Fatal("Cancel of an already-fired timer reported removal")
+	}
+	tm2 := s.At(20, func() { fired++ })
+	if !s.Cancel(tm2) || s.Cancel(tm2) {
+		t.Fatal("double Cancel: want (true, false)")
+	}
+	if s.Cancel(Timer{}) {
+		t.Fatal("Cancel of the zero Timer reported removal")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Run, want 1", fired)
+	}
+}
+
+// Slot reuse after a fire must not let a stale Timer cancel the new
+// occupant of the slot.
+func TestTimerSlotReuseAfterFire(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(10, func() {})
+	s.Run() // fires; slot freed
+	fired := false
+	fresh := s.At(20, func() { fired = true }) // reuses the slot
+	if s.Cancel(stale) {
+		t.Fatal("stale timer cancelled a reused slot's event")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("event lost: stale timer interfered with reused slot")
+	}
+	_ = fresh
+}
+
+// Slot reuse after a cancel: same property, via the cancellation path.
+func TestTimerSlotReuseAfterCancel(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(10, func() { t.Error("cancelled event fired") })
+	s.Cancel(stale)
+	fired := false
+	s.At(20, func() { fired = true }) // reuses the freed slot
+	if s.Cancel(stale) {
+		t.Fatal("stale timer cancelled a reused slot's event")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("event lost after slot reuse")
+	}
+}
+
+// Scheduling into the past is silently clamped by default but must panic
+// under the strict-past assertion, so protocol bugs that would be silently
+// reordered become catchable.
+func TestStrictPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.SetStrictPast(true)
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic under SetStrictPast")
+			}
+		}()
+		s.At(10, func() {})
+	})
+	s.Run()
+}
+
+func TestStrictPastOffClamps(t *testing.T) {
+	s := NewScheduler()
+	var at Time = -1
+	s.At(100, func() {
+		s.At(10, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamped to 100", at)
+	}
+}
+
+// refEvent/refHeap reimplement the previous container/heap scheduler
+// (pointer events, dead-flag tombstones) as the fuzz oracle: the pooled
+// value heap must produce the identical fire order under any interleaving
+// of schedules and cancellations.
+type refEvent struct {
+	t    Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *refHeap) popLive() (int, bool) {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(*refEvent)
+		if !e.dead {
+			return e.id, true
+		}
+	}
+	return 0, false
+}
+
+// Fuzz-style interleaving: random schedules (including ties and nested
+// scheduling) and random cancellations, checked against the tombstone
+// reference for identical (t, seq) fire order.
+func TestFireOrderMatchesHeapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		s := NewScheduler()
+		ref := &refHeap{}
+		var refSeq uint64
+		var got, want []int
+
+		type pending struct {
+			tm Timer
+			re *refEvent
+		}
+		var live []pending
+		id := 0
+		schedule := func(at Time) {
+			eid := id
+			id++
+			tm := s.At(at, func() { got = append(got, eid) })
+			// Mirror the clamp the real scheduler applies.
+			rt := at
+			if rt < s.Now() {
+				rt = s.Now()
+			}
+			re := &refEvent{t: rt, seq: refSeq, id: eid}
+			refSeq++
+			heap.Push(ref, re)
+			live = append(live, pending{tm, re})
+		}
+		for i := 0; i < 50; i++ {
+			schedule(Time(rng.Intn(40)))
+		}
+		// Cancel a random subset (some twice, some after more scheduling).
+		for i := 0; i < 25; i++ {
+			p := live[rng.Intn(len(live))]
+			s.Cancel(p.tm)
+			p.re.dead = true
+			if rng.Intn(4) == 0 {
+				schedule(Time(rng.Intn(40)))
+			}
+		}
+		s.Run()
+		for {
+			eid, ok := ref.popLive()
+			if !ok {
+				break
+			}
+			want = append(want, eid)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: fire order diverged at %d: got %v, want %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+// The scheduler hot path must be allocation-free once slots and heap
+// capacity are warm. Skipped under -short: the race detector (which CI
+// runs with -short) changes allocation behavior.
+func TestSchedulerSteadyStateAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -race (-short)")
+	}
+	s := NewScheduler()
+	fn := func() {}
+	// Warm: grow heap capacity and the slot table.
+	for i := 0; i < 512; i++ {
+		s.At(s.Now()+Time(i), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.At(s.Now()+1, fn)
+		s.At(s.Now()+2, fn)
+		s.Cancel(s.At(s.Now()+3, fn))
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("scheduler hot path allocates: %.1f allocs per schedule/cancel/run cycle, want 0", allocs)
+	}
+}

@@ -68,14 +68,18 @@ func (c *Cluster) StartProc(node int, delay Time, body func(*Proc)) *Proc {
 	c.next++
 	c.procs[p.ID] = p
 	go p.top(body)
-	c.sched.After(delay, func() {
-		if p.dead || p.exited {
-			return
-		}
-		p.started = true
-		p.dispatch(wake{})
-	})
+	c.sched.AfterFunc(delay, procStart, p, 0)
 	return p
+}
+
+// procStart is the static first-dispatch event body (see StartProc).
+func procStart(a any, _ int64) {
+	p := a.(*Proc)
+	if p.dead || p.exited {
+		return
+	}
+	p.started = true
+	p.dispatch(wake{})
 }
 
 // top is the goroutine body: it waits for the first dispatch, runs the user
@@ -153,14 +157,20 @@ func (p *Proc) PanicValue() any { return p.panicVal }
 // process body terminates for any reason.
 func (p *Proc) OnExit(f func(*Proc)) { p.onExit = append(p.onExit, f) }
 
-// wakeAt schedules a resume at time t for the park of generation g.
+// wakeAt schedules a resume at time t for the park of generation g. The
+// generation rides in the event's aux word, so the single most frequent
+// scheduling call in the simulator builds no closure.
 func (p *Proc) wakeAt(t Time, g uint64) {
-	p.c.sched.At(t, func() {
-		if p.dead || p.exited || !p.parked || p.gen != g {
-			return
-		}
-		p.dispatch(wake{})
-	})
+	p.c.sched.AtFunc(t, procWake, p, int64(g))
+}
+
+// procWake is the static wakeup event body (see wakeAt).
+func procWake(a any, g int64) {
+	p := a.(*Proc)
+	if p.dead || p.exited || !p.parked || p.gen != uint64(g) {
+		return
+	}
+	p.dispatch(wake{})
 }
 
 // Sleep advances this process's virtual time by d. It models both sleeping

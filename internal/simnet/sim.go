@@ -11,7 +11,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -39,51 +38,54 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // event is a scheduled callback. Events with equal times fire in the order
 // they were scheduled (seq breaks ties), which keeps runs reproducible.
+//
+// Events are stored by value in the scheduler's heap slice, so scheduling
+// does not allocate in the steady state. An event carries either a plain
+// closure (fn) or a static function plus its argument pair (fnA, arg, aux);
+// the latter lets hot callers — process wakeups, message deliveries,
+// detector ticks — schedule without building a closure per call.
 type event struct {
-	t     Time
-	seq   uint64
-	fire  func()
-	index int
-	dead  bool
+	t    Time
+	seq  uint64
+	fn   func()
+	fnA  func(arg any, aux int64)
+	arg  any
+	aux  int64
+	slot int32 // index into Scheduler.slots, for cancellation
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// slotState maps a stable slot id to the event's current heap index. The
+// generation counter is bumped every time the slot is freed, so a Timer
+// held across its event's firing (or cancellation) can never cancel an
+// unrelated later event that reused the slot.
+type slotState struct {
+	index int32 // heap index; -1 while the slot is free
+	gen   uint32
 }
 
-// Scheduler owns the virtual clock and the event queue.
+// Timer identifies a scheduled event. The zero Timer is valid and refers
+// to no event (Cancel on it is a no-op). Timers are plain values: holding
+// or dropping one costs nothing.
+type Timer struct {
+	slot int32
+	gen  uint32
+}
+
+// Scheduler owns the virtual clock and the event queue. The queue is a
+// value-based binary heap with a slot table for O(log n) cancellation;
+// slots and heap capacity are recycled, so the schedule/fire/cancel hot
+// path is allocation-free once warm.
 type Scheduler struct {
-	now     Time
-	q       eventHeap
-	seq     uint64
-	running bool
-	maxTime Time // 0 means unlimited
-	stopped bool
-	tracer  *trace.Recorder
+	now        Time
+	q          []event
+	slots      []slotState
+	freeSlots  []int32
+	seq        uint64
+	running    bool
+	maxTime    Time // 0 means unlimited
+	stopped    bool
+	strictPast bool
+	tracer     *trace.Recorder
 }
 
 // NewScheduler returns an empty scheduler at virtual time zero.
@@ -98,21 +100,175 @@ func (s *Scheduler) Now() Time { return s.now }
 // livelock in buggy protocols). Zero disables the deadline.
 func (s *Scheduler) SetDeadline(d Time) { s.maxTime = d }
 
-// At schedules fn to run at virtual time t (clamped to now). The returned
-// cancel function removes the event if it has not fired.
-func (s *Scheduler) At(t Time, fn func()) (cancel func()) {
-	if t < s.now {
-		t = s.now
-	}
-	e := &event{t: t, seq: s.seq, fire: fn}
-	s.seq++
-	heap.Push(&s.q, e)
-	return func() { e.dead = true }
+// SetStrictPast toggles the past-scheduling assertion. By default At
+// silently clamps a past target time to now, which keeps buggy protocols
+// running but reorders their events; with strict mode on, scheduling into
+// the past panics with the offending times, so the bug is caught at its
+// source. Tests and debugging harnesses turn this on.
+func (s *Scheduler) SetStrictPast(on bool) { s.strictPast = on }
+
+// At schedules fn to run at virtual time t (clamped to now; see
+// SetStrictPast). The returned Timer cancels the event via Cancel.
+func (s *Scheduler) At(t Time, fn func()) Timer {
+	return s.schedule(t, event{fn: fn})
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
-func (s *Scheduler) After(d Time, fn func()) (cancel func()) {
+func (s *Scheduler) After(d Time, fn func()) Timer {
 	return s.At(s.now+d, fn)
+}
+
+// AtFunc schedules fn(arg, aux) at virtual time t. Unlike At, it takes a
+// static function plus its argument, so hot paths that would otherwise
+// build a closure per call (process wakeups, message deliveries) can
+// schedule without allocating.
+func (s *Scheduler) AtFunc(t Time, fn func(arg any, aux int64), arg any, aux int64) Timer {
+	return s.schedule(t, event{fnA: fn, arg: arg, aux: aux})
+}
+
+// AfterFunc is AtFunc relative to now.
+func (s *Scheduler) AfterFunc(d Time, fn func(arg any, aux int64), arg any, aux int64) Timer {
+	return s.AtFunc(s.now+d, fn, arg, aux)
+}
+
+// schedule stamps the event and pushes it onto the heap.
+func (s *Scheduler) schedule(t Time, e event) Timer {
+	if t < s.now {
+		if s.strictPast {
+			panic(fmt.Sprintf("simnet: event scheduled into the past: t=%v, now=%v (%v late)", t, s.now, s.now-t))
+		}
+		t = s.now
+	}
+	slot := s.allocSlot()
+	e.t, e.seq, e.slot = t, s.seq, slot
+	s.seq++
+	s.q = append(s.q, e)
+	s.siftUp(len(s.q) - 1)
+	return Timer{slot: slot, gen: s.slots[slot].gen}
+}
+
+// Cancel removes the event identified by tm from the queue, eagerly and in
+// O(log n). It reports whether an event was removed: false means the timer
+// already fired, was already cancelled, or is the zero Timer. Cancelled
+// events leave the queue immediately — no tombstones accumulate, and their
+// closures are released for collection at once.
+func (s *Scheduler) Cancel(tm Timer) bool {
+	if tm.gen == 0 || tm.slot < 0 || int(tm.slot) >= len(s.slots) {
+		return false
+	}
+	st := &s.slots[tm.slot]
+	if st.gen != tm.gen || st.index < 0 {
+		return false
+	}
+	s.removeAt(int(st.index))
+	return true
+}
+
+// allocSlot takes a slot id from the free list, growing the table only
+// when every slot is live.
+func (s *Scheduler) allocSlot() int32 {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot
+	}
+	s.slots = append(s.slots, slotState{gen: 1, index: -1})
+	return int32(len(s.slots) - 1)
+}
+
+// freeSlot retires a slot: bump the generation (invalidating outstanding
+// Timers) and recycle the id.
+func (s *Scheduler) freeSlot(slot int32) {
+	st := &s.slots[slot]
+	st.gen++
+	st.index = -1
+	s.freeSlots = append(s.freeSlots, slot)
+}
+
+// eventLess orders events by (time, sequence) — a strict total order, so
+// the fire order is independent of heap shape and byte-identical to the
+// previous container/heap implementation.
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property from index i toward the root, using a
+// hole instead of pairwise swaps.
+func (s *Scheduler) siftUp(i int) {
+	e := s.q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if eventLess(&s.q[parent], &e) {
+			break
+		}
+		s.q[i] = s.q[parent]
+		s.slots[s.q[i].slot].index = int32(i)
+		i = parent
+	}
+	s.q[i] = e
+	s.slots[e.slot].index = int32(i)
+}
+
+// siftDown restores the heap property from index i toward the leaves and
+// reports whether the element moved.
+func (s *Scheduler) siftDown(i int) bool {
+	e := s.q[i]
+	start := i
+	n := len(s.q)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(&s.q[r], &s.q[child]) {
+			child = r
+		}
+		if eventLess(&e, &s.q[child]) {
+			break
+		}
+		s.q[i] = s.q[child]
+		s.slots[s.q[i].slot].index = int32(i)
+		i = child
+	}
+	s.q[i] = e
+	s.slots[e.slot].index = int32(i)
+	return i != start
+}
+
+// popMin removes and returns the earliest event.
+func (s *Scheduler) popMin() event {
+	e := s.q[0]
+	s.freeSlot(e.slot)
+	n := len(s.q) - 1
+	if n > 0 {
+		s.q[0] = s.q[n]
+	}
+	s.q[n] = event{} // release fn/arg references
+	s.q = s.q[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return e
+}
+
+// removeAt deletes the event at heap index i (cancellation path).
+func (s *Scheduler) removeAt(i int) {
+	s.freeSlot(s.q[i].slot)
+	n := len(s.q) - 1
+	if i != n {
+		s.q[i] = s.q[n]
+		s.q[n] = event{}
+		s.q = s.q[:n]
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+		return
+	}
+	s.q[n] = event{}
+	s.q = s.q[:n]
 }
 
 // Stop makes Run return after the current event completes.
@@ -120,38 +276,36 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Run fires events in time order until the queue drains, Stop is called, or
 // the deadline passes. It returns the final virtual time.
+//
+// The tracing check is hoisted out of the drain loop: attach the tracer
+// (Cluster.SetTracer) before Run, not during it.
 func (s *Scheduler) Run() Time {
 	s.running = true
 	defer func() { s.running = false }()
-	for s.q.Len() > 0 && !s.stopped {
-		e := heap.Pop(&s.q).(*event)
-		if e.dead {
-			continue
-		}
+	traceEvents := s.tracer.Wants(trace.CatEvent)
+	for len(s.q) > 0 && !s.stopped {
+		e := s.popMin()
 		if s.maxTime > 0 && e.t > s.maxTime {
 			panic(fmt.Sprintf("simnet: virtual deadline %v exceeded (event at %v); likely deadlock or livelock", s.maxTime, e.t))
 		}
 		if e.t > s.now {
 			s.now = e.t
 		}
-		if s.tracer.Wants(trace.CatEvent) {
+		if traceEvents {
 			s.tracer.Emit(trace.Span{Cat: trace.CatEvent, Rank: -1, Start: int64(e.t), Aux: int64(e.seq)})
 		}
-		e.fire()
+		if e.fnA != nil {
+			e.fnA(e.arg, e.aux)
+		} else {
+			e.fn()
+		}
 	}
 	return s.now
 }
 
-// Pending reports the number of events that have not fired.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, e := range s.q {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of events that have not fired. Cancelled
+// events are removed eagerly, so they never count.
+func (s *Scheduler) Pending() int { return len(s.q) }
 
 // Leaked reports the events still pending in the queue — work Run walked
 // away from when it returned via Stop or a deadline — as a count plus the
@@ -159,12 +313,9 @@ func (s *Scheduler) Pending() int {
 // zero. The harness surfaces this as Breakdown.LeakedEvents so hung-run
 // bugs stop masquerading as clean completions.
 func (s *Scheduler) Leaked() (n int, earliest Time) {
-	for _, e := range s.q {
-		if e.dead {
-			continue
-		}
-		if n == 0 || e.t < earliest {
-			earliest = e.t
+	for i := range s.q {
+		if n == 0 || s.q[i].t < earliest {
+			earliest = s.q[i].t
 		}
 		n++
 	}

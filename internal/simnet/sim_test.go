@@ -41,8 +41,10 @@ func TestSchedulerTieBreakFIFO(t *testing.T) {
 func TestSchedulerCancel(t *testing.T) {
 	s := NewScheduler()
 	fired := false
-	cancel := s.At(10, func() { fired = true })
-	cancel()
+	tm := s.At(10, func() { fired = true })
+	if !s.Cancel(tm) {
+		t.Fatal("Cancel reported no event removed")
+	}
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
@@ -358,8 +360,7 @@ func TestSchedulerLeakedAfterStop(t *testing.T) {
 		s.Stop()
 	})
 	s.At(30, func() { fired++ })
-	cancel := s.At(20, func() { fired++ })
-	cancel()
+	s.Cancel(s.At(20, func() { fired++ }))
 	s.At(40, func() { fired++ })
 	s.Run()
 	if fired != 1 {
