@@ -11,6 +11,7 @@
 //	match -ckpt-policy multi-level -ckpt-l2-every 3 -ckpt-l4-every 10
 //	match -design replica -fault -ckpt-policy replica-aware       # stretch while protected
 //	match -design replica -hot-spare -fault-schedule "3@20:replica=0,3@45:replica=1"
+//	match -fault -metrics -log stderr                 # OpenMetrics dump + JSON event log
 //	match -list-designs
 package main
 
@@ -25,6 +26,7 @@ import (
 	"match/internal/detect"
 	"match/internal/fault"
 	"match/internal/fti"
+	"match/internal/obs"
 	"match/internal/replica"
 	"match/internal/simnet"
 	"match/internal/trace"
@@ -64,6 +66,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto; implies -reps 1)")
 	traceMetrics := flag.Bool("trace-metrics", false, "print the trace's per-phase metrics table reconciled against the breakdown (implies -reps 1)")
 	traceDetail := flag.String("trace-detail", "", `extra trace detail: comma-separated from "messages", "heartbeats", "sim", or "all" (high-volume; default off)`)
+	metricsOn := flag.Bool("metrics", false, "print the run's metrics registry as OpenMetrics text after the breakdown (self-checked against it)")
+	logDest := flag.String("log", "", `write structured JSON lifecycle events (inject, detect, failover, ...) to this destination: "stderr" or a file path`)
 	flag.Parse()
 
 	if *listDesigns {
@@ -215,6 +219,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *metricsOn {
+		cfg.Metrics = obs.New()
+	}
+	if *logDest != "" {
+		switch *logDest {
+		case "stderr":
+			cfg.Log = obs.NewLog(os.Stderr)
+		default:
+			f, err := os.Create(*logDest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "log:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			cfg.Log = obs.NewLog(f)
+		}
+	}
+
 	bd, _, err := core.RunAveraged(cfg, *reps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", err)
@@ -252,7 +274,11 @@ func main() {
 	fmt.Printf("  signature       %g\n", bd.Signature)
 	fmt.Printf("  traffic         %d messages, %d bytes\n", bd.Messages, bd.NetBytes)
 	if bd.LeakedEvents > 0 {
-		fmt.Printf("  WARNING: %d scheduler events never fired (leaked past completion)\n", bd.LeakedEvents)
+		leaked := ""
+		if cfg.Metrics.Enabled() {
+			leaked = fmt.Sprintf("; match_sim_leaked_events_total=%d", cfg.Metrics.Get(obs.CLeakedEvents))
+		}
+		fmt.Printf("  WARNING: %d scheduler events never fired (leaked past completion%s)\n", bd.LeakedEvents, leaked)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -275,5 +301,12 @@ func main() {
 	if *traceMetrics {
 		fmt.Println()
 		cfg.Trace.WriteMetrics(os.Stdout, core.TraceTotalsOf(bd), d == core.ReplicaFTI)
+	}
+	if *metricsOn {
+		fmt.Println()
+		if err := cfg.Metrics.WriteOpenMetrics(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -19,8 +19,8 @@
 // derived and gated. Two host-speed series ride along without being part
 // of the deterministic gate: per-benchmark wall-clock (wall_ms, from
 // ns/op) and throughput metrics (cells/sec). Both are reported as trends
-// on every comparison, can be appended to a JSONL trajectory with -trend,
-// and are soft-gated — failing only on egregious regressions — when
+// on every comparison, can be appended to a JSONL trajectory with -trend
+// (bounded to the newest N entries with -trend-max), and are soft-gated — failing only on egregious regressions — when
 // -wall-tol is set (e.g. -wall-tol 2.0 fails on a 2x slowdown). Subset
 // runs (a single benchmark against the full baseline) pass -allow-missing
 // so absent figures warn instead of fail.
@@ -89,6 +89,7 @@ func main() {
 	wallTol := flag.Float64("wall-tol", 0, "soft host-speed gate: fail when wall_ms grows, or throughput drops, by more than this factor (e.g. 2.0 = 2x); 0 disables")
 	allowMissing := flag.Bool("allow-missing", false, "warn instead of fail on baseline figures absent from this run (for subset bench runs)")
 	trendPath := flag.String("trend", "", "append this run's wall_ms and throughput as one JSON line to the given file (host-speed trajectory record)")
+	trendMax := flag.Int("trend-max", 0, "with -trend, keep only the newest N entries in the trajectory file (0 = unbounded)")
 	flag.Parse()
 	if *tol < 0 {
 		fmt.Fprintf(os.Stderr, "matchbench: -tol %g invalid (want >= 0)\n", *tol)
@@ -96,6 +97,10 @@ func main() {
 	}
 	if *wallTol != 0 && *wallTol < 1 {
 		fmt.Fprintf(os.Stderr, "matchbench: -wall-tol %g invalid (want 0 to disable, or >= 1)\n", *wallTol)
+		os.Exit(2)
+	}
+	if *trendMax < 0 {
+		fmt.Fprintf(os.Stderr, "matchbench: -trend-max %d invalid (want >= 0)\n", *trendMax)
 		os.Exit(2)
 	}
 
@@ -137,6 +142,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("matchbench: appended host-speed trend entry to %s\n", *trendPath)
+		if *trendMax > 0 {
+			dropped, err := capTrend(*trendPath, *trendMax)
+			if err != nil {
+				fatal(err)
+			}
+			if dropped > 0 {
+				fmt.Printf("matchbench: trimmed %d old trend entr(ies), keeping newest %d\n", dropped, *trendMax)
+			}
+		}
 	}
 
 	if *basePath == "" {
@@ -184,6 +198,37 @@ func appendTrend(path string, wallMs, thrpt map[string]float64) error {
 	defer f.Close()
 	_, err = f.Write(append(b, '\n'))
 	return err
+}
+
+// capTrend bounds the trajectory file to the newest max lines, returning
+// how many were dropped. The rewrite goes through a temp file + rename so
+// a crash mid-trim cannot truncate the history. Blank lines are skipped
+// so hand edits don't inflate the count.
+func capTrend(path string, max int) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var lines []string
+	for _, ln := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines = append(lines, ln)
+		}
+	}
+	if len(lines) <= max {
+		return 0, nil
+	}
+	dropped := len(lines) - max
+	kept := strings.Join(lines[dropped:], "\n") + "\n"
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(kept), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return dropped, nil
 }
 
 // hostSpeedGate is the soft wall-clock gate: unlike the figure gate it

@@ -1,0 +1,425 @@
+// Command matchreport turns the suite's machine-oriented observability
+// artifacts into one human-oriented markdown report: the host-speed
+// trajectory that matchbench appends to BENCH_trend.jsonl, the latest
+// run's wall_ms / cells/sec deltas against BENCH_baseline.json (with
+// regression flags at the same soft threshold matchbench gates on), and
+// — given one or two campaign CSVs — the per-cell design winner table
+// and the crossover diff between two campaign runs. CI uploads the
+// output as a build artifact so throughput drift is readable without
+// spelunking job logs.
+//
+// Usage:
+//
+//	matchreport -trend BENCH_trend.jsonl -baseline BENCH_baseline.json -out report.md
+//	matchreport -campaign before.csv -campaign2 after.csv   # crossover diff to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// trendEntry is one matchbench -trend line.
+type trendEntry struct {
+	Time       string             `json:"time"`
+	WallMs     map[string]float64 `json:"wall_ms"`
+	Throughput map[string]float64 `json:"throughput"`
+}
+
+// benchBaseline mirrors matchbench's on-disk baseline; only the
+// host-speed series matter here (the deterministic figures have their
+// own hard gate).
+type benchBaseline struct {
+	WallMs     map[string]float64 `json:"wall_ms"`
+	Throughput map[string]float64 `json:"throughput"`
+}
+
+// cell is one campaign CSV row, keyed by the axes that identify a sweep
+// cell across runs and carrying the figures the report compares.
+type cell struct {
+	App, Design, Input string
+	Procs, Faults      int
+	TotalS             float64
+}
+
+func (c cell) key() string {
+	return fmt.Sprintf("%s|%s|%d|%d", c.App, c.Input, c.Procs, c.Faults)
+}
+
+func main() {
+	trendPath := flag.String("trend", "", "BENCH_trend.jsonl trajectory from matchbench -trend")
+	basePath := flag.String("baseline", "", "BENCH_baseline.json for latest-vs-baseline deltas")
+	campA := flag.String("campaign", "", "campaign CSV (matchsuite -campaign -csv)")
+	campB := flag.String("campaign2", "", "second campaign CSV to diff against -campaign")
+	outPath := flag.String("out", "-", `markdown output path ("-" = stdout)`)
+	wallTol := flag.Float64("wall-tol", 2.0, "flag wall_ms growth, or throughput shrinkage, beyond this factor as a regression")
+	flag.Parse()
+	if *wallTol < 1 {
+		fmt.Fprintf(os.Stderr, "matchreport: -wall-tol %g invalid (want >= 1)\n", *wallTol)
+		os.Exit(2)
+	}
+	if *trendPath == "" && *campA == "" {
+		fmt.Fprintln(os.Stderr, "matchreport: nothing to report (need -trend and/or -campaign)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *campB != "" && *campA == "" {
+		fmt.Fprintln(os.Stderr, "matchreport: -campaign2 requires -campaign")
+		os.Exit(2)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	fmt.Fprintln(bw, "# MATCH trend report")
+	fmt.Fprintln(bw)
+
+	if *trendPath != "" {
+		entries, err := readTrend(*trendPath)
+		if err != nil {
+			fatal(err)
+		}
+		var base benchBaseline
+		if *basePath != "" {
+			raw, err := os.ReadFile(*basePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := json.Unmarshal(raw, &base); err != nil {
+				fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
+			}
+		}
+		if regress := writeTrendReport(bw, entries, base, *wallTol); regress > 0 {
+			fmt.Fprintf(os.Stderr, "matchreport: %d host-speed serie(s) beyond the %gx threshold (report only; matchbench -wall-tol gates)\n", regress, *wallTol)
+		}
+	}
+
+	if *campA != "" {
+		a, err := readCampaign(*campA)
+		if err != nil {
+			fatal(err)
+		}
+		if *campB == "" {
+			writeWinners(bw, *campA, a)
+		} else {
+			b, err := readCampaign(*campB)
+			if err != nil {
+				fatal(err)
+			}
+			writeCampaignDiff(bw, *campA, *campB, a, b)
+		}
+	}
+}
+
+// readTrend loads the JSONL trajectory, skipping blank lines; malformed
+// lines are an error (the file is machine-written).
+func readTrend(path string) ([]trendEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []trendEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		ln := strings.TrimSpace(sc.Text())
+		if ln == "" {
+			continue
+		}
+		var e trendEntry
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, len(entries)+1, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// writeTrendReport renders the latest-vs-baseline tables and the
+// per-series trajectory, returning how many series tripped the
+// regression threshold.
+func writeTrendReport(w io.Writer, entries []trendEntry, base benchBaseline, tol float64) int {
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "_Trend file is empty — run `matchbench -trend` to start the trajectory._")
+		fmt.Fprintln(w)
+		return 0
+	}
+	latest := entries[len(entries)-1]
+	regress := 0
+
+	fmt.Fprintf(w, "## Latest run vs baseline (%d trend entries, newest %s)\n\n", len(entries), latest.Time)
+	if base.WallMs == nil && base.Throughput == nil {
+		fmt.Fprintln(w, "_No baseline given (-baseline); showing trajectory only._")
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "| series | baseline | latest | delta | flag |")
+		fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+		for _, k := range sortedCommonKeys(base.WallMs, latest.WallMs) {
+			was, now := base.WallMs[k], latest.WallMs[k]
+			flag := ""
+			if was > 0 && now > was*tol {
+				flag = "**REGRESSION**"
+				regress++
+			}
+			fmt.Fprintf(w, "| %s wall_ms | %.1f | %.1f | %s | %s |\n", k, was, now, pct(was, now), flag)
+		}
+		for _, k := range sortedCommonKeys(base.Throughput, latest.Throughput) {
+			was, now := base.Throughput[k], latest.Throughput[k]
+			flag := ""
+			if was > 0 && now < was/tol {
+				flag = "**REGRESSION**"
+				regress++
+			}
+			fmt.Fprintf(w, "| %s | %.4g | %.4g | %s | %s |\n", k, was, now, pct(was, now), flag)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "Regression flags use the %gx soft threshold (`matchbench -wall-tol %g`): wall time growing, or throughput dropping, past factor x baseline.\n\n", tol, tol)
+	}
+
+	fmt.Fprintln(w, "## Trajectory")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| series | entries | oldest | newest | delta | min | max |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	for _, row := range trajectory(entries, func(e trendEntry) map[string]float64 { return e.WallMs }) {
+		fmt.Fprintf(w, "| %s wall_ms | %d | %.1f | %.1f | %s | %.1f | %.1f |\n",
+			row.name, row.n, row.first, row.last, pct(row.first, row.last), row.min, row.max)
+	}
+	for _, row := range trajectory(entries, func(e trendEntry) map[string]float64 { return e.Throughput }) {
+		fmt.Fprintf(w, "| %s | %d | %.4g | %.4g | %s | %.4g | %.4g |\n",
+			row.name, row.n, row.first, row.last, pct(row.first, row.last), row.min, row.max)
+	}
+	fmt.Fprintln(w)
+	return regress
+}
+
+type series struct {
+	name                  string
+	n                     int
+	first, last, min, max float64
+}
+
+// trajectory folds the trend entries into one row per series name.
+func trajectory(entries []trendEntry, sel func(trendEntry) map[string]float64) []series {
+	byName := map[string]*series{}
+	for _, e := range entries {
+		for k, v := range sel(e) {
+			s := byName[k]
+			if s == nil {
+				s = &series{name: k, first: v, min: v, max: v}
+				byName[k] = s
+			}
+			s.n++
+			s.last = v
+			s.min = math.Min(s.min, v)
+			s.max = math.Max(s.max, v)
+		}
+	}
+	rows := make([]series, 0, len(byName))
+	for _, s := range byName {
+		rows = append(rows, *s)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+// readCampaign loads the cells of a matchsuite campaign CSV. Columns are
+// located by header name so the report survives column additions.
+func readCampaign(path string) ([]cell, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("%s: no data rows", path)
+	}
+	col := map[string]int{}
+	for i, h := range rows[0] {
+		col[h] = i
+	}
+	for _, need := range []string{"app", "design", "input", "procs", "faults", "total_s"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("%s: missing column %q (not a campaign CSV?)", path, need)
+		}
+	}
+	cells := make([]cell, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		procs, err1 := strconv.Atoi(row[col["procs"]])
+		faults, err2 := strconv.Atoi(row[col["faults"]])
+		total, err3 := strconv.ParseFloat(row[col["total_s"]], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%s row %d: bad numeric field", path, i+2)
+		}
+		cells = append(cells, cell{
+			App: row[col["app"]], Design: row[col["design"]], Input: row[col["input"]],
+			Procs: procs, Faults: faults, TotalS: total,
+		})
+	}
+	return cells, nil
+}
+
+// winners reduces a campaign to, per cell key, the design with the lowest
+// mean total time (designs can appear several times per key when other
+// axes — rfactor, hot spares, detectors — are swept; the mean keeps the
+// comparison stable across such variants).
+func winners(cells []cell) map[string]map[string]float64 {
+	sums := map[string]map[string]struct{ sum, n float64 }{}
+	for _, c := range cells {
+		k := c.key()
+		if sums[k] == nil {
+			sums[k] = map[string]struct{ sum, n float64 }{}
+		}
+		agg := sums[k][c.Design]
+		agg.sum += c.TotalS
+		agg.n++
+		sums[k][c.Design] = agg
+	}
+	out := map[string]map[string]float64{}
+	for k, designs := range sums {
+		out[k] = map[string]float64{}
+		for d, agg := range designs {
+			out[k][d] = agg.sum / agg.n
+		}
+	}
+	return out
+}
+
+// best returns the winning design (lowest mean total_s) of one cell.
+func best(designs map[string]float64) (string, float64) {
+	name, t := "", math.Inf(1)
+	for d, v := range designs {
+		if v < t || (v == t && d < name) {
+			name, t = d, v
+		}
+	}
+	return name, t
+}
+
+// writeWinners renders the single-campaign winner table.
+func writeWinners(w io.Writer, path string, cells []cell) {
+	fmt.Fprintf(w, "## Campaign winners (%s)\n\n", path)
+	fmt.Fprintln(w, "| app | input | procs | faults | winner | total_s | runner-up | margin |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---|---:|---|---:|")
+	wins := winners(cells)
+	for _, k := range sortedCellKeys(wins) {
+		designs := wins[k]
+		win, t := best(designs)
+		rest := map[string]float64{}
+		for d, v := range designs {
+			if d != win {
+				rest[d] = v
+			}
+		}
+		second, t2 := best(rest)
+		margin := "—"
+		if second != "" && t > 0 {
+			margin = fmt.Sprintf("%.2fx", t2/t)
+		} else {
+			second = "—"
+		}
+		app, input, procs, faults := splitKey(k)
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %.3f | %s | %s |\n",
+			app, input, procs, faults, win, t, second, margin)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeCampaignDiff renders the crossover diff between two campaign runs:
+// every cell present in both, flagging winner changes and total-time
+// movement of the shared winner.
+func writeCampaignDiff(w io.Writer, pathA, pathB string, a, b []cell) {
+	fmt.Fprintf(w, "## Campaign diff: %s vs %s\n\n", pathA, pathB)
+	winsA, winsB := winners(a), winners(b)
+	var keys []string
+	for k := range winsA {
+		if _, ok := winsB[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Fprintln(w, "_The two campaigns share no cells (different apps/inputs/fault counts)._")
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintln(w, "| app | input | procs | faults | winner A | winner B | total A | total B | delta | note |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---|---|---:|---:|---:|---|")
+	changed := 0
+	for _, k := range keys {
+		winA, tA := best(winsA[k])
+		winB, tB := best(winsB[k])
+		note := ""
+		if winA != winB {
+			note = "**winner changed**"
+			changed++
+		}
+		app, input, procs, faults := splitKey(k)
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %.3f | %.3f | %s | %s |\n",
+			app, input, procs, faults, winA, winB, tA, tB, pct(tA, tB), note)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%d of %d shared cells changed winning design. Totals are modeled (virtual) seconds of the winning design, so deltas are figure drift, not machine noise.\n\n", changed, len(keys))
+}
+
+func sortedCellKeys(m map[string]map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func splitKey(k string) (app, input, procs, faults string) {
+	p := strings.SplitN(k, "|", 4)
+	return p[0], p[1], p[2], p[3]
+}
+
+// sortedCommonKeys returns the sorted keys present in both maps.
+func sortedCommonKeys(a, b map[string]float64) []string {
+	var keys []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// pct renders the relative movement from was to now.
+func pct(was, now float64) string {
+	if was == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "matchreport:", err)
+	os.Exit(1)
+}

@@ -32,6 +32,7 @@ import (
 	"match/internal/ckpt"
 	"match/internal/core"
 	"match/internal/detect"
+	"match/internal/obs"
 	"match/internal/simnet"
 )
 
@@ -65,7 +66,8 @@ func main() {
 	progress := flag.Bool("progress", true, "report per-cell completion, wall-clock, and throughput on stderr while a sweep runs (stdout stays byte-stable)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at sweep end to this file")
-	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live inspection of long sweeps")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof plus live /metrics (OpenMetrics) and /status (JSON) on this address (e.g. localhost:6060)")
+	logDest := flag.String("log", "", `write structured JSON lifecycle events (cell start/finish, inject, detect, failover, ...) to this destination: "stderr" or a file path`)
 	flag.Parse()
 
 	if *maxFaults < 0 {
@@ -205,19 +207,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Profiling and progress are pure observability: profiles measure the
-	// host-side cost of the sweep, and progress writes to stderr only, so
-	// the deterministic stdout/CSV streams stay byte-stable.
+	// Profiling, progress, metering, and the event log are pure
+	// observability: they write to stderr, files, or HTTP only, so the
+	// deterministic stdout/CSV streams stay byte-stable. The sweep meter —
+	// and with it the per-cell metric registries and their reconciliation
+	// self-checks — is armed only when an HTTP address serves it, keeping
+	// the default sweep's hot path at the one-branch metrics-off cost.
+	var meter *obs.SweepMeter
+	if *pprofHTTP != "" {
+		meter = obs.NewSweepMeter()
+		http.Handle("/metrics", meter.MetricsHandler())
+		http.Handle("/status", meter.StatusHandler())
+	}
+	var elog *obs.Log
+	if *logDest != "" {
+		switch *logDest {
+		case "stderr":
+			elog = obs.NewLog(os.Stderr)
+			// Structured cell_finish events carry what the ad-hoc progress
+			// line reports; don't interleave both on stderr.
+			*progress = false
+		default:
+			f, err := os.Create(*logDest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "log:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			elog = obs.NewLog(f)
+		}
+	}
 	stopProf := startProfiling(*cpuprofile, *memprofile, *pprofHTTP)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		stopProf()
 		os.Exit(1)
 	}
-	var prog core.Progress
-	if *progress {
-		sweepStart := time.Now()
-		prog = func(done, total int, r core.Result, wall time.Duration) {
+	sweepStart := time.Now()
+	cellsDone := 0
+	var cellWall time.Duration
+	prog := func(done, total int, r core.Result, wall time.Duration) {
+		cellsDone, cellWall = done, cellWall+wall
+		if *progress {
 			rate := float64(done) / time.Since(sweepStart).Seconds()
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s faults=%d  %6.2fs wall  (%.2f cells/s)\n",
 				done, total, r.Key(), r.Config.FaultCount(), wall.Seconds(), rate)
@@ -225,7 +256,7 @@ func main() {
 	}
 
 	opts := core.SuiteOptions{Reps: *reps, Seed: *seed, Workers: *workers,
-		ModelIngress: *modelIngress, Progress: prog}
+		ModelIngress: *modelIngress, Progress: prog, Meter: meter, Log: elog}
 	if len(detectors) == 1 {
 		opts.Detector = detectors[0]
 	}
@@ -262,6 +293,8 @@ func main() {
 			ReplicaFactors: factors,
 			ModelIngress:   *modelIngress,
 			Progress:       prog,
+			Meter:          meter,
+			Log:            elog,
 		}
 		if *hotSpareSweep {
 			copts.HotSpares = []bool{false, true}
@@ -323,6 +356,17 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Final sweep summary (stderr side channel, like progress): cumulative
+	// per-cell wall is the worker-pool aggregate, mean cells/sec is against
+	// host wall-clock, and peak heap is the runtime's high-water mark.
+	if cellsDone > 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		elapsed := time.Since(sweepStart)
+		fmt.Fprintf(os.Stderr, "sweep summary: %d cells, %.2fs wall (%.2fs cumulative cell time), %.2f cells/s mean, peak heap %.1f MiB\n",
+			cellsDone, elapsed.Seconds(), cellWall.Seconds(),
+			float64(cellsDone)/elapsed.Seconds(), float64(ms.HeapSys)/(1<<20))
 	}
 	stopProf()
 }

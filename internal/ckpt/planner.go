@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"match/internal/fti"
+	"match/internal/obs"
 	"match/internal/simnet"
 	"match/internal/trace"
 )
@@ -37,6 +38,11 @@ type Planner struct {
 	// planner itself is clock-free.
 	Trace *trace.Recorder
 	Now   func() simnet.Time
+	// Metrics receives the same placement-decision events as counters
+	// (policy re-arms and avoided checkpoints); nil — the default — is
+	// inert. The planner is not cluster-attached, so the harness wires it
+	// directly, like Trace.
+	Metrics *obs.Registry
 
 	pol      *policy
 	polEpoch int
@@ -72,6 +78,7 @@ func (pl *Planner) Policy() Policy {
 		pl.polEpoch = e
 		pl.pol = pl.build()
 		pl.strides = append(pl.strides, pl.pol.stride)
+		pl.Metrics.Inc(obs.CPolicyArms)
 		if pl.Trace.Wants(trace.CatPolicyArm) && pl.Now != nil {
 			pl.Trace.Emit(trace.Span{Cat: trace.CatPolicyArm, Rank: -1,
 				Start: int64(pl.Now()), Level: int32(e), Aux: int64(pl.pol.stride)})
@@ -210,6 +217,7 @@ func (p *policy) Next(s State) Decision {
 		p.taken++
 	} else if p.pl.cfg.Stride > 0 && s.Iter%p.pl.cfg.Stride == 0 {
 		p.pl.avoided++
+		p.pl.Metrics.Inc(obs.CPolicyAvoids)
 		if p.pl.Trace.Wants(trace.CatPolicyAvoid) && p.pl.Now != nil {
 			p.pl.Trace.Emit(trace.Span{Cat: trace.CatPolicyAvoid, Rank: -1,
 				Start: int64(p.pl.Now()), Aux: int64(s.Iter)})

@@ -7,6 +7,7 @@ import (
 
 	"match/internal/ckpt"
 	"match/internal/detect"
+	"match/internal/obs"
 	"match/internal/replica"
 )
 
@@ -67,6 +68,12 @@ type CampaignOptions struct {
 	// another side channel: campaign stdout and CSV are diffed by the
 	// determinism gate.
 	Progress Progress
+	// Meter aggregates per-cell metric registries into the live sweep meter
+	// the /metrics and /status endpoints serve (see SuiteOptions.Meter).
+	Meter *obs.SweepMeter
+	// Log receives cell lifecycle and in-run structured events (see
+	// SuiteOptions.Log).
+	Log *obs.Log
 }
 
 func (o *CampaignOptions) fill() {
@@ -205,7 +212,7 @@ func HotSpareOf(c Config) bool {
 // count, per design) to w, and returns the raw results.
 func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
 	cfgs := CampaignConfigs(opts) // fills defaults on its own copy
-	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress)
+	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress, opts.Meter, opts.Log)
 	if err != nil {
 		return results, err
 	}

@@ -19,6 +19,7 @@ import (
 	"match/internal/fault"
 	"match/internal/fti"
 	"match/internal/mpi"
+	"match/internal/obs"
 	"match/internal/reinit"
 	"match/internal/replica"
 	"match/internal/restart"
@@ -193,6 +194,22 @@ type Config struct {
 	// recorder serves exactly one Run: it is not safe to share across the
 	// concurrent runs of a sweep (RunAveraged rejects Trace with reps > 1).
 	Trace *trace.Recorder
+
+	// Metrics, when non-nil, accumulates the run's operational counters
+	// (messages, checkpoints per level, detections, failovers, respawns,
+	// scheduler events — see internal/obs) into the registry. Like Trace it
+	// is a pure observer: a metered run is byte-identical to an unmetered
+	// one, and Run self-checks the registry against the returned Breakdown
+	// (and, when both are attached, against the trace's span counts),
+	// failing hard on divergence. Unlike Trace, a registry may be reused
+	// across the reps of RunAveraged: each rep gets a fresh registry that is
+	// merged in afterwards.
+	Metrics *obs.Registry
+
+	// Log, when non-nil, receives structured lifecycle events (inject,
+	// detect, failover, respawn, fallback, node-fail) as JSON lines with
+	// virtual timestamps. Observer-only, like Trace and Metrics.
+	Log *obs.Log
 }
 
 // FaultCount is the number of failures this configuration injects: the
@@ -285,6 +302,17 @@ type recorder struct {
 	// instance answers for the rank).
 	liveFTI map[int]*fti.FTI
 	errs    []error
+
+	// Raw (un-deduplicated, all-rank) FTI sums across every instance that
+	// ran, mirroring what the metrics registry counts at write time. The
+	// Breakdown's checkpoint figures are rank-0 (and, for the replica
+	// design, per-job-best) views, so reconciliation needs this independent
+	// teardown-time total.
+	rawCkptCount   int64
+	rawCkptBytes   int64
+	rawCkptCountAt [5]int64
+	rawCkptBytesAt [5]int64
+	rawRestores    int64
 }
 
 func newRecorder() *recorder {
@@ -308,6 +336,18 @@ func (rec *recorder) addFTIStats(rank int, st fti.Stats) {
 			rec.ckptBytesAt[l] += st.CkptBytesAt[l]
 		}
 	}
+}
+
+// addRaw accumulates one instance's FTI stats into the raw all-instance
+// sums (every instance of every rank, replicas not deduplicated).
+func (rec *recorder) addRaw(st fti.Stats) {
+	rec.rawCkptCount += int64(st.CkptCount)
+	rec.rawCkptBytes += st.CkptBytes
+	for l := range st.CkptCountAt {
+		rec.rawCkptCountAt[l] += int64(st.CkptCountAt[l])
+		rec.rawCkptBytesAt[l] += st.CkptBytesAt[l]
+	}
+	rec.rawRestores += int64(st.RecoverOps)
 }
 
 // Run executes one configuration to completion and returns its breakdown.
@@ -362,6 +402,9 @@ func Run(cfg Config) (Breakdown, error) {
 	cluster := simnet.NewCluster(simnet.Config{Nodes: cfg.Nodes, ModelIngress: cfg.ModelIngress})
 	cluster.Scheduler().SetDeadline(200000 * simnet.Second) // deadlock net
 	cluster.SetTracer(cfg.Trace)
+	cluster.SetMetrics(cfg.Metrics)
+	cluster.SetLog(cfg.Log)
+	cfg.Metrics.EnsureRanks(cfg.Procs)
 	st := storage.New(cluster, storage.Config{BytesScale: scale})
 
 	var sched fault.Schedule
@@ -392,6 +435,7 @@ func Run(cfg Config) (Breakdown, error) {
 	}
 	planner.Trace = cfg.Trace
 	planner.Now = cluster.Now
+	planner.Metrics = cfg.Metrics
 
 	// The execution id only needs to be stable across the incarnations of
 	// this one run (each run owns its cluster and storage), so it is derived
@@ -416,7 +460,10 @@ func Run(cfg Config) (Breakdown, error) {
 		}
 		rank := r.Rank(world)
 		rec.liveFTI[rank] = f
-		defer func() { record(rank, f.Stats) }()
+		defer func() {
+			rec.addRaw(f.Stats)
+			record(rank, f.Stats)
+		}()
 		ctx := &appkit.Context{R: r, World: world, FTI: f, Inject: inj, Params: params,
 			Ckpt: planner.Policy()}
 		sig, aerr := appkit.RunMainLoop(ctx, factory())
@@ -461,6 +508,7 @@ func Run(cfg Config) (Breakdown, error) {
 	// (cheap queue scan, traced or not) so reports can surface the leak.
 	if n, at := cluster.Scheduler().Leaked(); n > 0 {
 		bd.LeakedEvents = n
+		cfg.Metrics.Add(obs.CLeakedEvents, int64(n))
 		if tr := cfg.Trace; tr.Wants(trace.CatLeak) {
 			tr.Emit(trace.Span{Cat: trace.CatLeak, Rank: -1, Start: int64(at), Aux: int64(n)})
 		}
@@ -498,7 +546,86 @@ func Run(cfg Config) (Breakdown, error) {
 			return bd, fmt.Errorf("core: %w", rerr)
 		}
 	}
+	// The same discipline for the metrics registry: its write-time counts
+	// must agree exactly with the teardown-time accounting the Breakdown
+	// (and the recorder's raw FTI sums) arrived at independently — and, when
+	// a trace recorder ran alongside, with the span counts it captured.
+	if m := cfg.Metrics; m.Enabled() {
+		if rerr := m.Reconcile(obs.Expect{
+			Messages:     bd.Messages,
+			MsgBytes:     bd.NetBytes,
+			Injections:   int64(bd.FaultsInjected),
+			Detections:   int64(bd.DetectedFailures),
+			Recoveries:   int64(bd.Recoveries),
+			Respawns:     int64(bd.Respawns),
+			PolicyAvoids: int64(bd.CkptAvoided),
+			LeakedEvents: int64(bd.LeakedEvents),
+			Checkpoints:  rec.rawCkptCount,
+			CkptBytes:    rec.rawCkptBytes,
+			CkptCountAt:  rec.rawCkptCountAt,
+			CkptBytesAt:  rec.rawCkptBytesAt,
+			Restores:     rec.rawRestores,
+		}); rerr != nil {
+			return bd, fmt.Errorf("core: %w", rerr)
+		}
+		if tr := cfg.Trace; tr.Enabled() {
+			if rerr := metricsTraceCrossCheck(m, tr); rerr != nil {
+				return bd, fmt.Errorf("core: %w", rerr)
+			}
+		}
+	}
 	return bd, nil
+}
+
+// metricsTraceCrossCheck verifies that the metrics registry and the trace
+// recorder — two independent observers of the same run — counted the same
+// discrete events. Detail-gated categories (sends, collectives, dedup
+// drops, heartbeats) participate only when the recorder's detail mask
+// captured them.
+func metricsTraceCrossCheck(m *obs.Registry, tr *trace.Recorder) error {
+	spans := make(map[trace.Cat]int64)
+	var respawns, aborted int64
+	for _, s := range tr.Spans() {
+		spans[s.Cat]++
+		if s.Cat == trace.CatSpawn {
+			if s.Level == 0 {
+				respawns++
+			} else {
+				aborted++
+			}
+		}
+	}
+	var diffs []string
+	check := func(name string, got int64, cat trace.Cat, want int64) {
+		if !tr.Wants(cat) {
+			return
+		}
+		if got != want {
+			diffs = append(diffs, fmt.Sprintf("%s: registry %d != trace %d", name, got, want))
+		}
+	}
+	check("injections", m.Get(obs.CInjections), trace.CatInject, spans[trace.CatInject])
+	check("node-failures", m.Get(obs.CNodeFailures), trace.CatNodeFail, spans[trace.CatNodeFail])
+	check("detections", m.Get(obs.CDetections), trace.CatDetect, spans[trace.CatDetect])
+	check("recoveries", m.Get(obs.CRecoveries), trace.CatRecovery, spans[trace.CatRecovery])
+	check("failovers", m.Get(obs.CFailovers), trace.CatFailover, spans[trace.CatFailover])
+	check("absorbs", m.Get(obs.CAbsorbs), trace.CatAbsorb, spans[trace.CatAbsorb])
+	check("fallbacks", m.Get(obs.CFallbacks), trace.CatFallback, spans[trace.CatFallback])
+	check("repairs", m.Get(obs.CRepairs), trace.CatRepair, spans[trace.CatRepair])
+	check("respawns", m.Get(obs.CRespawns), trace.CatSpawn, respawns)
+	check("respawns-aborted", m.Get(obs.CRespawnsAborted), trace.CatSpawn, aborted)
+	check("policy-arms", m.Get(obs.CPolicyArms), trace.CatPolicyArm, spans[trace.CatPolicyArm])
+	check("policy-avoids", m.Get(obs.CPolicyAvoids), trace.CatPolicyAvoid, spans[trace.CatPolicyAvoid])
+	check("checkpoints", m.Get(obs.CCheckpoints), trace.CatCkpt, spans[trace.CatCkpt])
+	check("restores", m.Get(obs.CRestores), trace.CatRestore, spans[trace.CatRestore])
+	check("messages", m.Get(obs.CMessages), trace.CatSend, spans[trace.CatSend])
+	check("collectives", m.Get(obs.CCollectives), trace.CatCollective, spans[trace.CatCollective])
+	check("dedup-drops", m.Get(obs.CDedupDrops), trace.CatDedup, spans[trace.CatDedup])
+	check("heartbeats", m.Get(obs.CHeartbeats), trace.CatHeartbeat, spans[trace.CatHeartbeat])
+	if diffs != nil {
+		return fmt.Errorf("obs: registry/trace divergence: %s", strings.Join(diffs, "; "))
+	}
+	return nil
 }
 
 // TraceTotalsOf converts a Breakdown's phase components into the trace
@@ -610,6 +737,10 @@ func runRestart(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	cluster.Run()
 	for _, rcv := range sup.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if m := cluster.Metrics(); m != nil {
+			m.Inc(obs.CRecoveries)
+			m.Observe(obs.HRecoveryNs, int64(rcv.Duration()))
+		}
 		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
 			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: int32(rcv.FailedRanks[0]),
 				Start: int64(rcv.FailedAt), Dur: int64(rcv.Duration())})
@@ -644,6 +775,10 @@ func runReinit(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	rec.errs = append(rec.errs, rt.Errs...)
 	for _, rcv := range rt.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if m := cluster.Metrics(); m != nil {
+			m.Inc(obs.CRecoveries)
+			m.Observe(obs.HRecoveryNs, int64(rcv.Duration()))
+		}
 		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
 			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: int32(rcv.FailedRank),
 				Start: int64(rcv.FailedAt), Dur: int64(rcv.Duration())})
@@ -676,6 +811,10 @@ func runUlfm(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	rec.errs = append(rec.errs, rt.Errs...)
 	for _, rcv := range rt.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if m := cluster.Metrics(); m != nil {
+			m.Inc(obs.CRecoveries)
+			m.Observe(obs.HRecoveryNs, int64(rcv.Duration()))
+		}
 		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
 			rank := int32(-1)
 			if len(rcv.FailedRanks) > 0 {
@@ -750,6 +889,10 @@ func runReplica(cfg Config, cluster *simnet.Cluster, rec *recorder,
 	}
 	for _, rcv := range sup.Recoveries {
 		bd.Recovery += rcv.Duration()
+		if m := cluster.Metrics(); m != nil {
+			m.Inc(obs.CRecoveries)
+			m.Observe(obs.HRecoveryNs, int64(rcv.Duration()))
+		}
 		if tr := cfg.Trace; tr.Wants(trace.CatRecovery) {
 			tr.Emit(trace.Span{Cat: trace.CatRecovery, Rank: int32(rcv.Rank),
 				Replica: int32(rcv.Replica), Level: int32(rcv.Kind),

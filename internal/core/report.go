@@ -12,6 +12,7 @@ import (
 
 	"match/internal/ckpt"
 	"match/internal/detect"
+	"match/internal/obs"
 	"match/internal/simnet"
 )
 
@@ -44,7 +45,16 @@ func RunAveraged(cfg Config, reps int) (Breakdown, []Result, error) {
 	for i := 0; i < reps; i++ {
 		c := cfg
 		c.FaultSeed = cfg.FaultSeed + int64(i)*1009
+		// Each rep runs (and reconciles) against its own fresh registry,
+		// which is then merged into the caller's — so a registry, unlike a
+		// trace recorder, may serve a multi-rep cell.
+		if cfg.Metrics.Enabled() {
+			c.Metrics = obs.New()
+		}
 		bd, err := Run(c)
+		if cfg.Metrics.Enabled() {
+			cfg.Metrics.Merge(c.Metrics)
+		}
 		if err != nil {
 			return Breakdown{}, results, fmt.Errorf("%s rep %d: %w", Result{Config: c}.Key(), i, err)
 		}
@@ -124,6 +134,16 @@ type SuiteOptions struct {
 	// Implementations must write to stderr or another side channel: the
 	// sweep's stdout/CSV streams are diffed by the determinism gate.
 	Progress Progress
+	// Meter, when non-nil, aggregates each cell's metrics registry into the
+	// live sweep meter the /metrics and /status endpoints serve. Side
+	// channel only, like Progress: metering never touches the deterministic
+	// output streams.
+	Meter *obs.SweepMeter
+	// Log, when non-nil, receives cell_start/cell_finish host events plus
+	// each run's structured lifecycle events (see Config.Log). Cells run
+	// concurrently, so events from different cells interleave; every line
+	// carries its cell index.
+	Log *obs.Log
 }
 
 func (o *SuiteOptions) fill() {
@@ -234,18 +254,20 @@ type Progress func(done, total int, r Result, wall time.Duration)
 // ones finish); the successful prefix — every configuration before the
 // lowest-indexed failing one — is returned with that error.
 func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
-	return runConfigs(cfgs, reps, workers, nil)
+	return runConfigs(cfgs, reps, workers, nil, nil, nil)
 }
 
-// runConfigs is RunConfigs plus the per-cell progress callback the
-// campaign/suite CLIs report throughput through.
-func runConfigs(cfgs []Config, reps, workers int, progress Progress) ([]Result, error) {
+// runConfigs is RunConfigs plus the observability hooks the campaign/suite
+// CLIs report through: the per-cell progress callback, the live sweep
+// meter behind /metrics and /status, and the structured event log.
+func runConfigs(cfgs []Config, reps, workers int, progress Progress, meter *obs.SweepMeter, lg *obs.Log) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
+	meter.AddTotal(len(cfgs))
 	results := make([]Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	done := make([]bool, len(cfgs)) // distinguishes success from fail-fast skip
@@ -262,12 +284,29 @@ func runConfigs(cfgs []Config, reps, workers int, progress Progress) ([]Result, 
 				if failed.Load() {
 					continue
 				}
+				cfg := cfgs[i]
+				if meter.Enabled() {
+					cfg.Metrics = obs.New()
+				}
+				if lg.Enabled() {
+					cfg.Log = lg.With("cell", i)
+					cfg.Log.HostEvent("cell_start", "app", cfg.App,
+						"design", cfg.Design.ShortName(), "procs", cfg.Procs,
+						"input", cfg.Input.String(), "faults", cfg.FaultCount())
+				}
 				start := time.Now()
-				bd, _, err := RunAveraged(cfgs[i], reps)
+				bd, _, err := RunAveraged(cfg, reps)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
+				}
+				meter.CellDone(cfg.Design.ShortName(), cfg.Metrics)
+				if cfg.Log.Enabled() {
+					cfg.Log.HostEvent("cell_finish", "app", cfg.App,
+						"design", cfg.Design.ShortName(), "procs", cfg.Procs,
+						"wall_ms", time.Since(start).Milliseconds(),
+						"total_s", bd.Total.Seconds(), "recoveries", bd.Recoveries)
 				}
 				res := Result{Config: cfgs[i], Breakdown: bd}
 				results[i] = res
@@ -314,7 +353,7 @@ func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
 		return nil, err
 	}
 	opts.fill()
-	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress)
+	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress, opts.Meter, opts.Log)
 	if err != nil {
 		return results, err
 	}

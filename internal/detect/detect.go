@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"match/internal/mpi"
+	"match/internal/obs"
 	"match/internal/simnet"
 	"match/internal/trace"
 )
@@ -375,6 +376,14 @@ func (b *base) confirm(f Failure) {
 	}
 	b.confirmed[f.GID] = true
 	b.failures = append(b.failures, f)
+	if m := b.job.Cluster().Metrics(); m != nil {
+		m.Inc(obs.CDetections)
+		m.Observe(obs.HDetectNs, int64(f.Latency()))
+	}
+	if lg := b.job.Cluster().Log(); lg.Enabled() {
+		lg.Event(int64(f.DetectedAt), "detect",
+			"gid", f.GID, "latency_s", f.Latency().Seconds())
+	}
 	if tr := b.job.Cluster().Tracer(); tr.Wants(trace.CatDetect) {
 		tr.Emit(trace.Span{Cat: trace.CatDetect, Rank: -1, Job: tr.JobOf(b.job),
 			Start: int64(f.FailedAt), Dur: int64(f.Latency()),

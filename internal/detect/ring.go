@@ -2,6 +2,7 @@ package detect
 
 import (
 	"match/internal/mpi"
+	"match/internal/obs"
 	"match/internal/simnet"
 	"match/internal/trace"
 )
@@ -41,6 +42,7 @@ func (d *ringDetector) tick() {
 		cl.SendArrival(p.NodeID(), succ.NodeID(), d.cfg.HeartbeatBytes, now)
 		d.job.Steal(p.GID(), steal)
 	}
+	cl.Metrics().Inc(obs.CHeartbeats)
 	if tr := cl.Tracer(); tr.Wants(trace.CatHeartbeat) {
 		tr.Emit(trace.Span{Cat: trace.CatHeartbeat, Rank: -1, Job: tr.JobOf(d.job),
 			Start: int64(now), Aux: int64(len(alive))})

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"match/internal/mpi"
+	"match/internal/obs"
 	"match/internal/trace"
 )
 
@@ -398,8 +399,16 @@ func (in *Injector) fire(i int, ev Event, r *mpi.Rank, comm *mpi.Comm) {
 			fmt.Fprintf(in.Log, "KILL rank %d\n", r.Rank(comm))
 		}
 	}
-	tr := r.Job().Cluster().Tracer()
+	cluster := r.Job().Cluster()
+	cluster.Metrics().Inc(obs.CInjections)
+	tr := cluster.Tracer()
+	lg := cluster.Log()
 	emitInject := func(absorbed bool) {
+		if lg.Enabled() {
+			lg.Event(int64(r.Now()), "inject",
+				"rank", r.Rank(comm), "replica", ev.TargetReplica,
+				"kind", ev.Kind.String(), "absorbed", absorbed)
+		}
 		if !tr.Wants(trace.CatInject) {
 			return
 		}

@@ -23,6 +23,7 @@ import (
 
 	"match/internal/enc"
 	"match/internal/mpi"
+	"match/internal/obs"
 	"match/internal/simnet"
 	"match/internal/storage"
 	"match/internal/trace"
@@ -149,6 +150,12 @@ type FTI struct {
 	trJob     int32
 	trRank    int32
 	trReplica int32
+
+	// m is the metrics registry captured at Init (nil when metrics are
+	// off). Checkpoint/restore counts increment at write time, which is
+	// the independent path the harness reconciles against its
+	// teardown-accumulated Stats.
+	m *obs.Registry
 }
 
 type protEntry struct {
@@ -184,6 +191,7 @@ func Init(cfg Config, r *mpi.Rank, comm *mpi.Comm, st *storage.System) (*FTI, er
 			f.trReplica = int32(comm.ReplicaIndexOf(r.Process().GID()))
 		}
 	}
+	f.m = r.Job().Cluster().Metrics()
 	f.loadTopology()
 	mine := f.readMeta()
 	// Agree on the newest checkpoint every rank can restore. The packed
@@ -470,6 +478,7 @@ func (f *FTI) CheckpointAt(id int64, level Level) error {
 		f.Stats.CkptTime += dur
 		f.Stats.CkptCount++
 		f.Stats.CkptCountAt[level]++
+		f.m.Ckpt(int(level), f.Stats.CkptBytes-bytes0)
 		if f.tr.Wants(trace.CatCkpt) {
 			f.tr.Emit(trace.Span{Cat: trace.CatCkpt,
 				Rank: f.trRank, Replica: f.trReplica, Job: f.trJob, Actor: f.trActor,
@@ -538,6 +547,7 @@ func (f *FTI) Recover() error {
 		dur := f.r.Now() - start
 		f.Stats.RecoverTime += dur
 		f.Stats.RecoverOps++
+		f.m.Inc(obs.CRestores)
 		if f.tr.Wants(trace.CatRestore) {
 			f.tr.Emit(trace.Span{Cat: trace.CatRestore,
 				Rank: f.trRank, Replica: f.trReplica, Job: f.trJob, Actor: f.trActor,

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"match/internal/obs"
 	"match/internal/simnet"
 	"match/internal/trace"
 )
@@ -20,8 +21,10 @@ func (j *Job) getDelivery() *delivery {
 	if n := len(j.freeDel); n > 0 {
 		d := j.freeDel[n-1]
 		j.freeDel = j.freeDel[:n-1]
+		j.cluster.Metrics().Inc(obs.CDeliveriesPooled)
 		return d
 	}
+	j.cluster.Metrics().Inc(obs.CDeliveriesAlloc)
 	return &delivery{}
 }
 
@@ -101,6 +104,12 @@ func (r *Rank) sendCopy(c *Comm, to *Process, srcRank, tag int, data []byte, rep
 	cl.Scheduler().AtFunc(arrive, deliverMessage, d, 0)
 	j.Stats.Messages++
 	j.Stats.Bytes += int64(len(data))
+	if m := cl.Metrics(); m != nil {
+		m.Inc(obs.CMessages)
+		m.Add(obs.CMsgBytes, int64(len(data)))
+		m.Observe(obs.HMsgBytes, int64(len(data)))
+		m.IncRankSend(srcRank)
+	}
 	if tr := cl.Tracer(); tr.Wants(trace.CatSend) {
 		tr.Emit(trace.Span{Cat: trace.CatSend, Rank: int32(srcRank), Job: tr.JobOf(j),
 			Start: int64(now), Dur: int64(arrive - now),
@@ -130,6 +139,7 @@ func deliverMessage(a any, _ int64) {
 		key := seqKey(msg.Ctx, msg.SrcRank)
 		if msg.seq < to.recvSeq[key] {
 			j.Stats.Suppressed++
+			j.cluster.Metrics().Inc(obs.CDedupDrops)
 			if tr := j.cluster.Tracer(); tr.Wants(trace.CatDedup) {
 				tr.Emit(trace.Span{Cat: trace.CatDedup, Rank: int32(msg.SrcRank),
 					Job: tr.JobOf(j), Start: int64(arrive), Aux: int64(msg.seq)})

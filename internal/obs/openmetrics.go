@@ -1,0 +1,165 @@
+// OpenMetrics text exposition for the registry. The format follows the
+// OpenMetrics spec: one `# TYPE` declaration per metric family, counter
+// samples carry the `_total` suffix, histograms expose `_bucket{le=}` /
+// `_count` / `_sum`, and the stream terminates with `# EOF`. Output is
+// deterministic (fixed family order, fixed label order), so goldens can
+// assert on it byte for byte.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ContentType is the HTTP Content-Type for the exposition format.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// counterMeta names each counter's metric family (without the _total
+// suffix) and help text.
+var counterMeta = [numCounters]struct{ name, help string }{
+	CEventsScheduled:  {"match_sim_events_scheduled", "Events pushed onto the scheduler heap."},
+	CEventsFired:      {"match_sim_events_fired", "Events dispatched by the scheduler drain loop."},
+	CEventsCancelled:  {"match_sim_events_cancelled", "Events eagerly removed by Cancel."},
+	CSlotsReused:      {"match_sim_slots_reused", "Timer slots reused from the free list."},
+	CSlotsGrown:       {"match_sim_slots_grown", "Timer slots newly appended to the slot table."},
+	CLeakedEvents:     {"match_sim_leaked_events", "Events still pending when the run ended."},
+	CMessages:         {"match_mpi_messages", "Point-to-point messages sent (each replica copy counts)."},
+	CMsgBytes:         {"match_mpi_bytes", "Point-to-point payload bytes sent."},
+	CCollectives:      {"match_mpi_collectives", "Collective rounds."},
+	CDedupDrops:       {"match_mpi_dedup_dropped", "Duplicate messages suppressed at replicated receivers."},
+	CDeliveriesPooled: {"match_mpi_deliveries_pooled", "Delivery records reused from the free list."},
+	CDeliveriesAlloc:  {"match_mpi_deliveries_alloc", "Delivery records newly allocated."},
+	CInjections:       {"match_fault_injections", "Fired fault injections."},
+	CNodeFailures:     {"match_fault_node_failures", "Node failures."},
+	CDetections:       {"match_detect_confirmed", "Confirmed failure detections."},
+	CHeartbeats:       {"match_detect_heartbeat_rounds", "Detector heartbeat rounds."},
+	CCheckpoints:      {"match_fti_checkpoints", "Committed checkpoint writes across all ranks and levels."},
+	CCkptBytes:        {"match_fti_checkpoint_bytes", "Checkpoint bytes written."},
+	CRestores:         {"match_fti_restores", "FTI recovery read-backs."},
+	CPolicyArms:       {"match_ckpt_policy_arms", "Checkpoint-placement policy re-arms."},
+	CPolicyAvoids:     {"match_ckpt_policy_avoided", "Checkpoints skipped by the placement policy."},
+	CRecoveries:       {"match_recoveries", "Design-level recoveries."},
+	CFailovers:        {"match_failovers", "Replica leader failover commits."},
+	CAbsorbs:          {"match_absorbs", "Failures absorbed in place by a hot spare."},
+	CFallbacks:        {"match_fallbacks", "Replica groups exhausted to checkpoint fallback."},
+	CRepairs:          {"match_repairs", "In-situ repairs completed by restart/reinit/ULFM runtimes."},
+	CRespawns:         {"match_respawns", "Hot spares gone live."},
+	CRespawnsAborted:  {"match_respawns_aborted", "Hot-spare respawns aborted before go-live."},
+}
+
+var gaugeMeta = [numGauges]struct{ name, help string }{
+	GHeapHighWater: {"match_sim_heap_high_water", "Maximum scheduler heap length observed."},
+}
+
+var histMeta = [numHists]struct{ name, help string }{
+	HMsgBytes:   {"match_mpi_msg_size_bytes", "Point-to-point payload size distribution."},
+	HCkptBytes:  {"match_fti_ckpt_size_bytes", "Per-checkpoint size distribution."},
+	HDetectNs:   {"match_detect_latency_ns", "Failure detection latency distribution (virtual ns)."},
+	HRecoveryNs: {"match_recovery_duration_ns", "Design-level recovery duration distribution (virtual ns)."},
+}
+
+// LabeledRegistry pairs a registry with a pre-rendered label set (the
+// content between braces, e.g. `design="REPLICA-FTI"`; empty for none).
+type LabeledRegistry struct {
+	Labels string
+	R      *Registry
+}
+
+// sample writes one exposition sample line.
+func sample(bw *bufio.Writer, name, labels, extra string, v int64) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+func header(bw *bufio.Writer, name, typ, help string) {
+	fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+	fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+}
+
+// writeRegistries writes every registry metric family, one TYPE header per
+// family followed by one sample per labeled group.
+func writeRegistries(bw *bufio.Writer, groups []LabeledRegistry) {
+	for c := Counter(0); c < numCounters; c++ {
+		m := counterMeta[c]
+		header(bw, m.name, "counter", m.help)
+		for _, g := range groups {
+			sample(bw, m.name+"_total", g.Labels, "", g.R.Get(c))
+		}
+	}
+
+	header(bw, "match_fti_level_checkpoints", "counter", "Committed checkpoints per FTI level.")
+	for _, g := range groups {
+		for lvl := 1; lvl < FTILevels; lvl++ {
+			n, _ := g.R.CkptAt(lvl)
+			sample(bw, "match_fti_level_checkpoints_total", g.Labels, fmt.Sprintf("level=%q", strconv.Itoa(lvl)), n)
+		}
+	}
+	header(bw, "match_fti_level_checkpoint_bytes", "counter", "Checkpoint bytes per FTI level.")
+	for _, g := range groups {
+		for lvl := 1; lvl < FTILevels; lvl++ {
+			_, b := g.R.CkptAt(lvl)
+			sample(bw, "match_fti_level_checkpoint_bytes_total", g.Labels, fmt.Sprintf("level=%q", strconv.Itoa(lvl)), b)
+		}
+	}
+
+	header(bw, "match_mpi_rank_sends", "counter", "Point-to-point sends issued per rank.")
+	for _, g := range groups {
+		for rank, v := range g.R.RankSends() {
+			sample(bw, "match_mpi_rank_sends_total", g.Labels, fmt.Sprintf("rank=%q", strconv.Itoa(rank)), v)
+		}
+	}
+
+	for gg := Gauge(0); gg < numGauges; gg++ {
+		m := gaugeMeta[gg]
+		header(bw, m.name, "gauge", m.help)
+		for _, g := range groups {
+			sample(bw, m.name, g.Labels, "", g.R.Gauge(gg))
+		}
+	}
+
+	for h := Hist(0); h < numHists; h++ {
+		m := histMeta[h]
+		header(bw, m.name, "histogram", m.help)
+		bounds := histBounds[h]
+		for _, g := range groups {
+			var hs *hist
+			if g.R != nil {
+				hs = &g.R.hists[h]
+			} else {
+				hs = &hist{}
+			}
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += hs.counts[i]
+				sample(bw, m.name+"_bucket", g.Labels, fmt.Sprintf("le=%q", strconv.FormatInt(b, 10)), cum)
+			}
+			cum += hs.counts[len(bounds)]
+			sample(bw, m.name+"_bucket", g.Labels, `le="+Inf"`, cum)
+			sample(bw, m.name+"_count", g.Labels, "", hs.n)
+			sample(bw, m.name+"_sum", g.Labels, "", hs.sum)
+		}
+	}
+}
+
+// WriteOpenMetrics writes the registry as a complete OpenMetrics stream
+// (terminated by # EOF). A nil registry writes an all-zero stream.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeRegistries(bw, []LabeledRegistry{{R: r}})
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}

@@ -1,0 +1,185 @@
+// SweepMeter aggregates per-cell registries during a live sweep and
+// serves them over HTTP: OpenMetrics on /metrics (per-design label sets
+// plus sweep progress gauges) and a compact JSON summary on /status.
+// Unlike the per-run Registry it is mutex-guarded, because sweep cells
+// finish concurrently on the worker pool and Prometheus scrapes from yet
+// another goroutine.
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SweepMeter accumulates finished cells. A nil *SweepMeter is inert:
+// every method is nil-receiver safe, so sweep plumbing calls it
+// unconditionally.
+type SweepMeter struct {
+	mu      sync.Mutex
+	start   time.Time
+	total   int
+	done    int
+	byName  map[string]*designAgg
+	designs []*designAgg     // insertion order, for deterministic exposition
+	now     func() time.Time // test hook; time.Now when nil
+}
+
+type designAgg struct {
+	name string
+	done int
+	reg  *Registry
+}
+
+// NewSweepMeter returns an empty meter; elapsed time is measured from
+// this call.
+func NewSweepMeter() *SweepMeter {
+	return &SweepMeter{start: time.Now(), byName: make(map[string]*designAgg)}
+}
+
+// Enabled reports whether a meter is attached (s non-nil).
+func (s *SweepMeter) Enabled() bool { return s != nil }
+
+// AddTotal raises the expected cell count by n (cumulative across the
+// sweeps of one invocation, e.g. matchsuite -all).
+func (s *SweepMeter) AddTotal(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.total += n
+	s.mu.Unlock()
+}
+
+// CellDone merges one finished cell's registry under its design name.
+func (s *SweepMeter) CellDone(design string, r *Registry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done++
+	agg := s.byName[design]
+	if agg == nil {
+		agg = &designAgg{name: design, reg: New()}
+		s.byName[design] = agg
+		s.designs = append(s.designs, agg)
+	}
+	agg.done++
+	agg.reg.Merge(r)
+}
+
+// Status is the /status JSON document.
+type Status struct {
+	CellsDone   int            `json:"cells_done"`
+	CellsTotal  int            `json:"cells_total"`
+	ElapsedS    float64        `json:"elapsed_s"`
+	CellsPerSec float64        `json:"cells_per_sec"`
+	EtaS        float64        `json:"eta_s"`
+	Designs     []DesignStatus `json:"designs"`
+}
+
+// DesignStatus is one design's slice of the sweep.
+type DesignStatus struct {
+	Design      string `json:"design"`
+	CellsDone   int    `json:"cells_done"`
+	Recoveries  int64  `json:"recoveries"`
+	Failovers   int64  `json:"failovers"`
+	Respawns    int64  `json:"respawns"`
+	Checkpoints int64  `json:"checkpoints"`
+	Restores    int64  `json:"restores"`
+	Injections  int64  `json:"injections"`
+	Messages    int64  `json:"messages"`
+}
+
+// Snapshot returns the current sweep status. Rates use host wall-clock
+// since NewSweepMeter; ETA is 0 until at least one cell finished.
+func (s *SweepMeter) Snapshot() Status {
+	if s == nil {
+		return Status{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{CellsDone: s.done, CellsTotal: s.total}
+	nowFn := s.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	st.ElapsedS = nowFn().Sub(s.start).Seconds()
+	if st.ElapsedS > 0 {
+		st.CellsPerSec = float64(s.done) / st.ElapsedS
+	}
+	if s.done > 0 && s.total > s.done {
+		st.EtaS = st.ElapsedS / float64(s.done) * float64(s.total-s.done)
+	}
+	for _, agg := range s.designs {
+		st.Designs = append(st.Designs, DesignStatus{
+			Design:      agg.name,
+			CellsDone:   agg.done,
+			Recoveries:  agg.reg.Get(CRecoveries),
+			Failovers:   agg.reg.Get(CFailovers),
+			Respawns:    agg.reg.Get(CRespawns),
+			Checkpoints: agg.reg.Get(CCheckpoints),
+			Restores:    agg.reg.Get(CRestores),
+			Injections:  agg.reg.Get(CInjections),
+			Messages:    agg.reg.Get(CMessages),
+		})
+	}
+	return st
+}
+
+// WriteStatus writes the status document as indented JSON.
+func (s *SweepMeter) WriteStatus(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Snapshot())
+}
+
+// WriteOpenMetrics writes sweep progress gauges plus every design's
+// merged registry (labeled design="NAME") as one OpenMetrics stream.
+func (s *SweepMeter) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var groups []LabeledRegistry
+	var st Status
+	if s != nil {
+		st = s.Snapshot()
+		s.mu.Lock()
+		for _, agg := range s.designs {
+			groups = append(groups, LabeledRegistry{Labels: fmt.Sprintf("design=%q", agg.name), R: agg.reg})
+		}
+		s.mu.Unlock()
+	}
+	header(bw, "match_cells", "gauge", "Sweep cells by state.")
+	sample(bw, "match_cells", `state="done"`, "", int64(st.CellsDone))
+	sample(bw, "match_cells", `state="total"`, "", int64(st.CellsTotal))
+	header(bw, "match_cells_per_sec", "gauge", "Finished cells per host wall-clock second.")
+	fmt.Fprintf(bw, "match_cells_per_sec %g\n", st.CellsPerSec)
+	header(bw, "match_sweep_elapsed_seconds", "gauge", "Host wall-clock seconds since the sweep started.")
+	fmt.Fprintf(bw, "match_sweep_elapsed_seconds %g\n", st.ElapsedS)
+	header(bw, "match_sweep_eta_seconds", "gauge", "Estimated host seconds to completion (0 until a cell finishes).")
+	fmt.Fprintf(bw, "match_sweep_eta_seconds %g\n", st.EtaS)
+	writeRegistries(bw, groups)
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// MetricsHandler serves WriteOpenMetrics.
+func (s *SweepMeter) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		s.WriteOpenMetrics(w)
+	})
+}
+
+// StatusHandler serves WriteStatus.
+func (s *SweepMeter) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.WriteStatus(w)
+	})
+}

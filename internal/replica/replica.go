@@ -30,6 +30,7 @@ import (
 
 	"match/internal/detect"
 	"match/internal/mpi"
+	"match/internal/obs"
 	"match/internal/simnet"
 	"match/internal/trace"
 )
@@ -625,6 +626,10 @@ func (s *Supervisor) failover(job *mpi.Job, world *mpi.Comm, rank, idx int, f de
 		}
 		world.PruneReplica(f.GID)
 		world.PromoteLeader(rank)
+		s.cluster.Metrics().Inc(obs.CFailovers)
+		if lg := s.cluster.Log(); lg.Enabled() {
+			lg.Event(int64(completed), "failover", "rank", rank, "replica", idx, "gid", f.GID)
+		}
 		if tr := s.cluster.Tracer(); tr.Wants(trace.CatFailover) {
 			tr.Emit(trace.Span{Cat: trace.CatFailover,
 				Rank: int32(rank), Replica: int32(idx), Job: tr.JobOf(job),
@@ -722,6 +727,10 @@ func (s *Supervisor) goLive(job *mpi.Job, world *mpi.Comm, rank, idx, node int, 
 	sp.proc = p
 	s.RespawnLog[sp.log].Live = true
 	s.RespawnLog[sp.log].LiveAt = s.cluster.Now()
+	s.cluster.Metrics().Inc(obs.CRespawns)
+	if lg := s.cluster.Log(); lg.Enabled() {
+		lg.Event(int64(s.cluster.Now()), "respawn", "rank", rank, "replica", idx, "node", node)
+	}
 	if tr := s.cluster.Tracer(); tr.Wants(trace.CatSpawn) {
 		rs := &s.RespawnLog[sp.log]
 		tr.Emit(trace.Span{Cat: trace.CatSpawn,
@@ -738,6 +747,7 @@ func (s *Supervisor) abortRespawn(rank int, sp *spare) {
 	if s.spares[rank] == sp {
 		delete(s.spares, rank)
 	}
+	s.cluster.Metrics().Inc(obs.CRespawnsAborted)
 	if tr := s.cluster.Tracer(); tr.Wants(trace.CatSpawn) {
 		rs := &s.RespawnLog[sp.log]
 		// Level 1 marks an aborted spawn; the span covers schedule-to-abort.
@@ -821,6 +831,10 @@ func (s *Supervisor) AbsorbFailure(r *mpi.Rank, world *mpi.Comm) bool {
 	spareIdx := s.gidIdx[spareProc.GID()]
 	s.gidIdx[victim.GID()] = spareIdx
 	world.SetReplicaIndex(victim.GID(), spareIdx)
+	s.cluster.Metrics().Inc(obs.CAbsorbs)
+	if lg := s.cluster.Log(); lg.Enabled() {
+		lg.Event(int64(now), "absorb", "rank", rank, "replica", idx, "gid", victim.GID())
+	}
 	if tr := s.cluster.Tracer(); tr.Wants(trace.CatAbsorb) {
 		tr.Emit(trace.Span{Cat: trace.CatAbsorb,
 			Rank: int32(rank), Replica: int32(idx), Job: tr.JobOf(job),
@@ -879,6 +893,10 @@ func (s *Supervisor) fallback(job *mpi.Job, rank int, f detect.Failure) {
 			// in-band detector, DetectDelay after the death otherwise.
 			FailedAt: f.FailedAt, DetectedAt: abortedAt, CompletedAt: abortedAt + delay,
 		})
+		s.cluster.Metrics().Inc(obs.CFallbacks)
+		if lg := s.cluster.Log(); lg.Enabled() {
+			lg.Event(int64(abortedAt), "fallback", "rank", rank, "gid", f.GID)
+		}
 		if tr := s.cluster.Tracer(); tr.Wants(trace.CatFallback) {
 			tr.Emit(trace.Span{Cat: trace.CatFallback,
 				Rank: int32(rank), Job: tr.JobOf(job),

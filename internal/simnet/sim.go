@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"match/internal/obs"
 	"match/internal/trace"
 )
 
@@ -86,6 +87,7 @@ type Scheduler struct {
 	stopped    bool
 	strictPast bool
 	tracer     *trace.Recorder
+	metrics    *obs.Registry
 }
 
 // NewScheduler returns an empty scheduler at virtual time zero.
@@ -144,6 +146,10 @@ func (s *Scheduler) schedule(t Time, e event) Timer {
 	s.seq++
 	s.q = append(s.q, e)
 	s.siftUp(len(s.q) - 1)
+	if m := s.metrics; m != nil {
+		m.Inc(obs.CEventsScheduled)
+		m.SetMax(obs.GHeapHighWater, int64(len(s.q)))
+	}
 	return Timer{slot: slot, gen: s.slots[slot].gen}
 }
 
@@ -161,6 +167,7 @@ func (s *Scheduler) Cancel(tm Timer) bool {
 		return false
 	}
 	s.removeAt(int(st.index))
+	s.metrics.Inc(obs.CEventsCancelled)
 	return true
 }
 
@@ -170,9 +177,11 @@ func (s *Scheduler) allocSlot() int32 {
 	if n := len(s.freeSlots); n > 0 {
 		slot := s.freeSlots[n-1]
 		s.freeSlots = s.freeSlots[:n-1]
+		s.metrics.Inc(obs.CSlotsReused)
 		return slot
 	}
 	s.slots = append(s.slots, slotState{gen: 1, index: -1})
+	s.metrics.Inc(obs.CSlotsGrown)
 	return int32(len(s.slots) - 1)
 }
 
@@ -283,8 +292,12 @@ func (s *Scheduler) Run() Time {
 	s.running = true
 	defer func() { s.running = false }()
 	traceEvents := s.tracer.Wants(trace.CatEvent)
+	metrics := s.metrics
 	for len(s.q) > 0 && !s.stopped {
 		e := s.popMin()
+		if metrics != nil {
+			metrics.Inc(obs.CEventsFired)
+		}
 		if s.maxTime > 0 && e.t > s.maxTime {
 			panic(fmt.Sprintf("simnet: virtual deadline %v exceeded (event at %v); likely deadlock or livelock", s.maxTime, e.t))
 		}
@@ -374,12 +387,14 @@ func (n *Node) Alive() bool { return n.alive }
 
 // Cluster combines the scheduler, the node set, and the process table.
 type Cluster struct {
-	cfg    Config
-	sched  *Scheduler
-	nodes  []*Node
-	procs  map[int]*Proc
-	next   int // next process id
-	tracer *trace.Recorder
+	cfg     Config
+	sched   *Scheduler
+	nodes   []*Node
+	procs   map[int]*Proc
+	next    int // next process id
+	tracer  *trace.Recorder
+	metrics *obs.Registry
+	elog    *obs.Log
 }
 
 // NewCluster builds a cluster with cfg (zero fields replaced by defaults).
@@ -439,6 +454,26 @@ func (c *Cluster) SetTracer(r *trace.Recorder) {
 // and a nil *trace.Recorder is safe to emit into.
 func (c *Cluster) Tracer() *trace.Recorder { return c.tracer }
 
+// SetMetrics attaches a metrics registry to the cluster (and its
+// scheduler). Every layer running on the cluster reaches the registry
+// through Metrics(); nil — the default — disables all counting.
+func (c *Cluster) SetMetrics(m *obs.Registry) {
+	c.metrics = m
+	c.sched.metrics = m
+}
+
+// Metrics returns the attached registry; nil means metrics are off, and a
+// nil *obs.Registry is safe to increment.
+func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
+
+// SetLog attaches a structured event log. Layers reach it through Log();
+// nil — the default — disables all event emission.
+func (c *Cluster) SetLog(l *obs.Log) { c.elog = l }
+
+// Log returns the attached event log; nil means logging is off, and a nil
+// *obs.Log is safe to emit into.
+func (c *Cluster) Log() *obs.Log { return c.elog }
+
 // Now returns the current virtual time.
 func (c *Cluster) Now() Time { return c.sched.Now() }
 
@@ -460,6 +495,8 @@ func (c *Cluster) FailNode(id int) {
 		return
 	}
 	n.alive = false
+	c.metrics.Inc(obs.CNodeFailures)
+	c.elog.Event(int64(c.sched.now), "node_fail", "node", id)
 	if c.tracer.Wants(trace.CatNodeFail) {
 		c.tracer.Emit(trace.Span{Cat: trace.CatNodeFail, Rank: -1, Start: int64(c.sched.now), Aux: int64(id)})
 	}

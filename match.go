@@ -30,6 +30,7 @@ import (
 	"match/internal/depanal"
 	"match/internal/detect"
 	"match/internal/fault"
+	"match/internal/obs"
 	"match/internal/replica"
 	"match/internal/trace"
 )
@@ -269,6 +270,64 @@ func ParseTraceDetail(spec string) (TraceDetail, error) { return trace.ParseDeta
 // TraceTotalsOf converts a breakdown into the totals a trace recorder
 // reconciles against (Run already self-checks this when tracing).
 func TraceTotalsOf(bd Breakdown) TraceTotals { return core.TraceTotalsOf(bd) }
+
+// Observability re-exports (internal/obs). A MetricsRegistry is a pure
+// observer of one run: set it as Config.Metrics and Run self-checks the
+// write-time totals against the returned Breakdown (and against the
+// trace span counts when a TraceRecorder runs alongside), failing hard
+// on divergence. An EventLog streams structured JSON events; a
+// SweepMeter aggregates finished sweep cells for the /metrics and
+// /status endpoints (see cmd/matchsuite -pprof-http).
+type (
+	// MetricsRegistry counts simulator activity; allocate with
+	// NewMetricsRegistry and set it as Config.Metrics. Unlike a
+	// TraceRecorder it survives RunAveraged: each rep reconciles a fresh
+	// registry and the caller's receives the merged totals.
+	MetricsRegistry = obs.Registry
+	// MetricsCounter indexes one registry counter (obs.CMessages, ...).
+	MetricsCounter = obs.Counter
+	// EventLog emits structured JSON events (log/slog); set it as
+	// Config.Log.
+	EventLog = obs.Log
+	// SweepMeter merges per-cell registries during a live sweep and
+	// serves OpenMetrics plus a JSON status document over HTTP.
+	SweepMeter = obs.SweepMeter
+	// SweepStatus is the /status JSON document of a SweepMeter.
+	SweepStatus = obs.Status
+)
+
+// OpenMetricsContentType is the Content-Type of the exposition format
+// written by MetricsRegistry.WriteOpenMetrics and the /metrics endpoint.
+const OpenMetricsContentType = obs.ContentType
+
+// The headline registry counters (MetricsRegistry.Get). The full set —
+// scheduler internals, dedup drops, policy arms, per-level checkpoint
+// splits — is in the exposition; these are the ones library callers
+// typically assert on.
+const (
+	CounterMessages     = obs.CMessages
+	CounterMsgBytes     = obs.CMsgBytes
+	CounterCollectives  = obs.CCollectives
+	CounterCheckpoints  = obs.CCheckpoints
+	CounterRestores     = obs.CRestores
+	CounterInjections   = obs.CInjections
+	CounterDetections   = obs.CDetections
+	CounterRecoveries   = obs.CRecoveries
+	CounterFailovers    = obs.CFailovers
+	CounterAbsorbs      = obs.CAbsorbs
+	CounterRespawns     = obs.CRespawns
+	CounterLeakedEvents = obs.CLeakedEvents
+)
+
+// NewMetricsRegistry returns an empty, enabled metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// NewEventLog returns an event log writing JSON lines to w.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewLog(w) }
+
+// NewSweepMeter returns an empty sweep meter; rates are measured from
+// this call.
+func NewSweepMeter() *SweepMeter { return obs.NewSweepMeter() }
 
 // Dependency-analysis re-exports (Algorithm 1).
 type (
