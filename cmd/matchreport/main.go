@@ -12,6 +12,10 @@
 //
 //	matchreport -trend BENCH_trend.jsonl -baseline BENCH_baseline.json -out report.md
 //	matchreport -campaign before.csv -campaign2 after.csv   # crossover diff to stdout
+//	matchreport -campaign http://host:8080/campaigns/<id>/results   # straight off matchserve
+//
+// A -campaign argument may be a matchserve results URL instead of a local
+// CSV; the report then also includes the server's result-cache hit rate.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -126,7 +131,72 @@ func main() {
 			}
 			writeCampaignDiff(bw, *campA, *campB, a, b)
 		}
+		// Campaigns fetched from a matchserve instance bring the server's
+		// result-cache statistics along (one section per distinct server).
+		seen := map[string]bool{}
+		for _, p := range []string{*campA, *campB} {
+			if base := serverBase(p); base != "" && !seen[base] {
+				seen[base] = true
+				writeCacheSection(bw, base)
+			}
+		}
 	}
+}
+
+// isURL reports whether a -campaign argument names a matchserve resource
+// rather than a local CSV file.
+func isURL(p string) bool {
+	return strings.HasPrefix(p, "http://") || strings.HasPrefix(p, "https://")
+}
+
+// serverBase extracts the matchserve base URL from a results URL ("" when
+// the argument is a local path).
+func serverBase(p string) string {
+	if !isURL(p) {
+		return ""
+	}
+	if i := strings.Index(p, "/campaigns/"); i > 0 {
+		return p[:i]
+	}
+	return ""
+}
+
+// cacheStats mirrors matchserve's GET /cache payload.
+type cacheStats struct {
+	Enabled  bool    `json:"enabled"`
+	Hits     int64   `json:"hits"`
+	MemHits  int64   `json:"mem_hits"`
+	DiskHits int64   `json:"disk_hits"`
+	Misses   int64   `json:"misses"`
+	Puts     int64   `json:"puts"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// writeCacheSection renders the server's result-cache hit rate. The cache
+// endpoint being unreachable degrades to a note, not a failed report.
+func writeCacheSection(w io.Writer, base string) {
+	fmt.Fprintf(w, "## Result cache (%s)\n\n", base)
+	resp, err := http.Get(base + "/cache")
+	if err != nil {
+		fmt.Fprintf(w, "_cache stats unavailable: %v_\n\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var cs cacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(w, "_cache stats unavailable (HTTP %d)_\n\n", resp.StatusCode)
+		return
+	}
+	if !cs.Enabled {
+		fmt.Fprintln(w, "_The server runs without a result cache._")
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintln(w, "| lookups | hits (mem/disk) | misses | simulated cells | hit rate |")
+	fmt.Fprintln(w, "|---:|---:|---:|---:|---:|")
+	fmt.Fprintf(w, "| %d | %d (%d/%d) | %d | %d | %.1f%% |\n",
+		cs.Hits+cs.Misses, cs.Hits, cs.MemHits, cs.DiskHits, cs.Misses, cs.Puts, 100*cs.HitRate)
+	fmt.Fprintln(w)
 }
 
 // readTrend loads the JSONL trajectory, skipping blank lines; malformed
@@ -241,10 +311,11 @@ func trajectory(entries []trendEntry, sel func(trendEntry) map[string]float64) [
 	return rows
 }
 
-// readCampaign loads the cells of a matchsuite campaign CSV. Columns are
-// located by header name so the report survives column additions.
+// readCampaign loads the cells of a matchsuite campaign CSV, from a local
+// file or straight off a matchserve results URL. Columns are located by
+// header name so the report survives column additions.
 func readCampaign(path string) ([]cell, error) {
-	f, err := os.Open(path)
+	f, err := openCampaign(path)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +351,32 @@ func readCampaign(path string) ([]cell, error) {
 		})
 	}
 	return cells, nil
+}
+
+// openCampaign opens a local CSV, or fetches a matchserve results URL in
+// CSV form (?format=csv is appended unless the URL already picks one).
+func openCampaign(path string) (io.ReadCloser, error) {
+	if !isURL(path) {
+		return os.Open(path)
+	}
+	u := path
+	if !strings.Contains(u, "format=") {
+		if strings.Contains(u, "?") {
+			u += "&format=csv"
+		} else {
+			u += "?format=csv"
+		}
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return resp.Body, nil
 }
 
 // winners reduces a campaign to, per cell key, the design with the lowest

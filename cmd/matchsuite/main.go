@@ -15,11 +15,16 @@
 //	matchsuite -campaign -ckpt-policy fixed,replica-aware,adaptive   # placement-axis sweep
 //	matchsuite -replica-sweep 0,0.25,0.5,1.0   # PartRePer overhead-vs-ReplicaFactor curve
 //	matchsuite -hot-spare-sweep -max-faults 2   # respawn axis: crossover per hot-spare variant
+//	matchsuite -campaign -cache ~/.cache/match   # memoize cells; warm reruns simulate nothing
+//	matchsuite -campaign -server http://host:8080   # run the campaign on a matchserve instance
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -34,6 +39,7 @@ import (
 	"match/internal/detect"
 	"match/internal/obs"
 	"match/internal/simnet"
+	"match/internal/store"
 )
 
 func main() {
@@ -63,6 +69,9 @@ func main() {
 	replicaSweep := flag.String("replica-sweep", "", "campaign the replica design over these ReplicaFactors (e.g. 0,0.25,0.5,1.0; 0 = replication off) and print the combined overhead-vs-ReplicaFactor curve")
 	hotSpareSweep := flag.Bool("hot-spare-sweep", false, "campaign the replica design with hot-spare respawn off and on and print the Replica-vs-Reinit crossover per variant")
 	modelIngress := flag.Bool("model-ingress", false, "serialize receiver NICs too (richer network model; shifts calibrated timings)")
+	serverURL := flag.String("server", "", "campaign mode: submit the request to a matchserve instance at this base URL instead of simulating in-process; output stays byte-identical")
+	cacheDir := flag.String("cache", "", "campaign mode: content-addressed result cache directory; cached cells are reused, simulated cells are stored")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache capacity in cells (0 = default)")
 	progress := flag.Bool("progress", true, "report per-cell completion, wall-clock, and throughput on stderr while a sweep runs (stdout stays byte-stable)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at sweep end to this file")
@@ -110,6 +119,18 @@ func main() {
 		}
 	} else if *procs != 0 {
 		fmt.Fprintln(os.Stderr, "-procs only applies to -campaign; figure sweeps take -scales")
+		os.Exit(2)
+	}
+	if *serverURL != "" && !*campaign {
+		fmt.Fprintln(os.Stderr, "-server only applies to -campaign (the service speaks CampaignRequest)")
+		os.Exit(2)
+	}
+	if *cacheDir != "" && !*campaign {
+		fmt.Fprintln(os.Stderr, "-cache only applies to -campaign (cells are the cache unit)")
+		os.Exit(2)
+	}
+	if *serverURL != "" && *cacheDir != "" {
+		fmt.Fprintln(os.Stderr, "-server and -cache are mutually exclusive: a remote campaign uses the server's cache")
 		os.Exit(2)
 	}
 	dkind, err := detect.ParseKind(*detector)
@@ -299,9 +320,36 @@ func main() {
 		if *hotSpareSweep {
 			copts.HotSpares = []bool{false, true}
 		}
-		results, err := core.RunCampaign(copts, os.Stdout)
-		if err != nil {
-			fail(err)
+		// Local and remote campaigns share every rendering path below, so a
+		// -server run is byte-identical to the in-process run of the same
+		// request: the service returns raw results and the table, analyses,
+		// and CSV are produced by the exact same code either way.
+		var results []core.Result
+		var err error
+		if *serverURL != "" {
+			results, err = runRemoteCampaign(*serverURL, copts.Request(), *progress)
+			if err != nil {
+				fail(err)
+			}
+			core.WriteCampaign(os.Stdout, results)
+		} else {
+			rn := copts.Runner()
+			if *cacheDir != "" {
+				st, serr := store.Open(*cacheDir, *cacheEntries)
+				if serr != nil {
+					fail(serr)
+				}
+				rn.Store = st
+			}
+			results, err = rn.Run(copts.Request(), os.Stdout)
+			if err != nil {
+				fail(err)
+			}
+			if rn.Store.Enabled() {
+				cs := rn.Store.Stats()
+				fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d puts=%d evictions=%d (%.0f%% hit rate)\n",
+					cs.Hits, cs.Misses, cs.Puts, cs.Evictions, 100*cs.HitRate())
+			}
 		}
 		if len(detectors) > 0 {
 			core.WriteDetectionTradeoff(os.Stdout, core.ComputeDetectionTradeoff(results))
@@ -369,6 +417,83 @@ func main() {
 			float64(cellsDone)/elapsed.Seconds(), float64(ms.HeapSys)/(1<<20))
 	}
 	stopProf()
+}
+
+// campaignStatus mirrors matchserve's status JSON.
+type campaignStatus struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Error      string `json:"error"`
+	CellsDone  int    `json:"cells_done"`
+	CellsTotal int    `json:"cells_total"`
+	ResultsURL string `json:"results_url"`
+}
+
+// runRemoteCampaign submits the request to a matchserve instance, polls it
+// to completion (progress on stderr, like a local sweep), and returns the
+// raw results for the caller to render through the local code paths.
+func runRemoteCampaign(base string, req core.CampaignRequest, progress bool) ([]core.Result, error) {
+	base = strings.TrimSuffix(base, "/")
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var st campaignStatus
+	if err := decodeRemote(resp, &st); err != nil {
+		return nil, err
+	}
+	if progress {
+		fmt.Fprintf(os.Stderr, "remote campaign %.12s: %d cells on %s (%s)\n",
+			st.ID, st.CellsTotal, base, st.State)
+	}
+	lastDone := -1
+	for st.State != "done" && st.State != "failed" {
+		time.Sleep(250 * time.Millisecond)
+		resp, err := http.Get(base + "/campaigns/" + st.ID)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		if err := decodeRemote(resp, &st); err != nil {
+			return nil, err
+		}
+		if progress && st.CellsDone != lastDone {
+			lastDone = st.CellsDone
+			fmt.Fprintf(os.Stderr, "[%d/%d] remote\n", st.CellsDone, st.CellsTotal)
+		}
+	}
+	if st.State == "failed" {
+		return nil, fmt.Errorf("remote campaign failed: %s", st.Error)
+	}
+	resp, err = http.Get(base + st.ResultsURL + "?format=json")
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var results []core.Result
+	if err := decodeRemote(resp, &results); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// decodeRemote decodes a matchserve JSON response, turning error statuses
+// into errors carrying the server's message.
+func decodeRemote(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // startProfiling arms the requested host-side profilers and returns the

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"match/internal/store"
+)
+
+// tinyCampaign is a fast-but-real campaign: one app at a small scale, a
+// failure-free and a single-failure cell per design (8 cells).
+func tinyCampaign() CampaignRequest {
+	return CampaignRequest{Apps: []string{"HPCCG"}, Procs: 8, MaxFaults: 1, Seed: 7}
+}
+
+// A warm rerun of an identical campaign must simulate nothing and still be
+// byte-identical on every deterministic output stream.
+func TestCampaignColdWarmByteIdentical(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tinyCampaign()
+	rn := CampaignRunner{Workers: 4, Store: st}
+
+	var cold bytes.Buffer
+	coldRes, err := rn.Run(req, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(req.Configs())
+	cs := st.Stats()
+	if cs.Misses != int64(cells) || cs.Puts != int64(cells) || cs.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want %d misses/puts", cs, cells)
+	}
+
+	var warm bytes.Buffer
+	warmRes, err := rn.Run(req, &warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := st.Stats()
+	if ws.Misses != cs.Misses || ws.Puts != cs.Puts {
+		t.Fatalf("warm run simulated cells: %+v", ws)
+	}
+	if ws.Hits != int64(cells) {
+		t.Fatalf("warm run hit %d of %d cells", ws.Hits, cells)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatalf("warm table diverged:\n--- cold ---\n%s\n--- warm ---\n%s", &cold, &warm)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatal("warm results diverged from cold results")
+	}
+	var coldCSV, warmCSV bytes.Buffer
+	WriteCSV(&coldCSV, coldRes)
+	WriteCSV(&warmCSV, warmRes)
+	if !bytes.Equal(coldCSV.Bytes(), warmCSV.Bytes()) {
+		t.Fatal("warm CSV diverged from cold CSV")
+	}
+}
+
+// An LRU front far smaller than the campaign still serves a fully warm
+// rerun: evicted entries come back as disk hits.
+func TestCampaignWarmUnderTinyLRU(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tinyCampaign()
+	rn := CampaignRunner{Workers: 2, Store: st}
+	var cold bytes.Buffer
+	if _, err := rn.Run(req, &cold); err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Stats()
+	if cs.Evictions == 0 {
+		t.Fatalf("campaign of %d cells never overflowed a 2-entry LRU: %+v", len(req.Configs()), cs)
+	}
+	var warm bytes.Buffer
+	if _, err := rn.Run(req, &warm); err != nil {
+		t.Fatal(err)
+	}
+	ws := st.Stats()
+	if ws.Misses != cs.Misses {
+		t.Fatalf("warm run missed despite disk backing: %+v", ws)
+	}
+	if ws.DiskHits == 0 {
+		t.Fatalf("no disk hits under a tiny LRU: %+v", ws)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatal("warm table diverged under a tiny LRU")
+	}
+}
+
+// A cacheVersion bump must orphan every prior entry: the rerun misses and
+// re-simulates everything.
+func TestCampaignVersionStampInvalidates(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CampaignRequest{Apps: []string{"HPCCG"}, Designs: []Design{RestartFTI},
+		Procs: 8, MaxFaults: 0, Seed: 7}
+	rn := CampaignRunner{Store: st}
+	if _, err := rn.Run(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Stats()
+	old := cacheVersion
+	defer func() { cacheVersion = old }()
+	cacheVersion++
+	if _, err := rn.Run(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Stats()
+	if after.Hits != before.Hits {
+		t.Fatalf("stale entry served across a version bump: %+v -> %+v", before, after)
+	}
+	if after.Misses <= before.Misses || after.Puts <= before.Puts {
+		t.Fatalf("version bump did not force a re-run: %+v -> %+v", before, after)
+	}
+}
+
+// Concurrent campaigns may share one store (matchserve's worker pool
+// does); results must be identical and race-free.
+func TestConcurrentCampaignsSharedStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CampaignRequest{Apps: []string{"HPCCG"}, Procs: 8, MaxFaults: 1, Seed: 7,
+		Designs: []Design{RestartFTI, UlfmFTI}}
+	const n = 3
+	outs := make([][]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rn := CampaignRunner{Workers: 2, Store: st}
+			outs[g], errs[g] = rn.Run(req, nil)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < n; g++ {
+		if errs[g] != nil {
+			t.Fatalf("campaign %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(outs[g], outs[0]) {
+			t.Fatalf("campaign %d diverged from campaign 0", g)
+		}
+	}
+	cells := int64(len(req.Configs()))
+	cs := st.Stats()
+	// Concurrency can race the same cell to a duplicate simulation, but
+	// never past one simulation per cell per campaign, and the combined
+	// lookups must balance.
+	if cs.Hits+cs.Misses != cells*n {
+		t.Fatalf("lookup count %d, want %d: %+v", cs.Hits+cs.Misses, cells*n, cs)
+	}
+	if cs.Misses < cells || cs.Misses > cells*n {
+		t.Fatalf("implausible miss count: %+v", cs)
+	}
+}
+
+// A corrupt cache entry is a miss, not an error: the cell re-runs and the
+// entry is repaired.
+func TestCorruptCacheEntryFallsBackToRun(t *testing.T) {
+	st := store.NewMemory(0)
+	cfg := Config{App: "HPCCG", Procs: 8, Design: RestartFTI}
+	key, err := CellKey(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(key, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	results, err := runConfigs([]Config{cfg}, 1, runEnv{workers: 1, store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Breakdown.Completed {
+		t.Fatalf("corrupt entry did not fall back to a run: %+v", results)
+	}
+	// The rerun repaired the entry: a fresh lookup decodes.
+	raw, ok := st.Get(key)
+	if !ok {
+		t.Fatal("repaired entry missing")
+	}
+	if _, err := decodeCachedCell(raw); err != nil {
+		t.Fatalf("repaired entry undecodable: %v", err)
+	}
+	if got, want := results[0].Breakdown, mustDecode(t, raw); got != want {
+		t.Fatalf("stored breakdown diverges:\n%+v\n%+v", got, want)
+	}
+}
+
+func mustDecode(t *testing.T, raw []byte) Breakdown {
+	t.Helper()
+	bd, err := decodeCachedCell(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bd
+}
+
+// The cached value must reproduce the Breakdown exactly — every field,
+// including the float fingerprint — or warm runs would not be
+// byte-identical.
+func TestCachedBreakdownRoundTrip(t *testing.T) {
+	params := tinyParams("HPCCG")
+	params.CkptStride = 3
+	bd, err := Run(Config{App: "HPCCG", Design: UlfmFTI, Procs: 8, Nodes: 4,
+		Params: params, InjectFault: true, FaultSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encodeCachedCell(bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeCachedCell(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd != back {
+		t.Fatalf("breakdown did not round-trip:\n%+v\n%+v", bd, back)
+	}
+}

@@ -76,36 +76,35 @@ type CampaignOptions struct {
 	Log *obs.Log
 }
 
-func (o *CampaignOptions) fill() {
-	if len(o.Apps) == 0 {
-		o.Apps = TableIApps()
+// Request extracts the campaign's identity — the pure-data sweep axes —
+// as a CampaignRequest. CampaignOptions survives as a convenience bundle
+// (and for compatibility); new code should hold a CampaignRequest and a
+// CampaignRunner separately.
+func (o CampaignOptions) Request() CampaignRequest {
+	return CampaignRequest{
+		Apps:           o.Apps,
+		Designs:        o.Designs,
+		Procs:          o.Procs,
+		Input:          o.Input,
+		MaxFaults:      o.MaxFaults,
+		Reps:           o.Reps,
+		Seed:           o.Seed,
+		Detectors:      o.Detectors,
+		Policies:       o.Policies,
+		ReplicaFactors: o.ReplicaFactors,
+		HotSpares:      o.HotSpares,
+		ModelIngress:   o.ModelIngress,
 	}
-	if len(o.Designs) == 0 {
-		o.Designs = Designs()
-	}
-	if o.Procs == 0 {
-		o.Procs = DefaultProcs
-	}
-	if o.MaxFaults < 0 {
-		o.MaxFaults = 3
-	}
-	if o.Reps <= 0 {
-		o.Reps = 1
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if len(o.Detectors) == 0 {
-		o.Detectors = []detect.Config{{}} // per-design preset
-	}
-	if len(o.Policies) == 0 {
-		o.Policies = []ckpt.Config{{}} // fixed-stride placement
-	}
-	if len(o.ReplicaFactors) > 0 {
-		o.Designs = []Design{ReplicaFTI}
-	}
-	if len(o.HotSpares) == 0 {
-		o.HotSpares = []bool{false}
+}
+
+// Runner extracts the campaign's execution environment (no result store;
+// set CampaignRunner.Store for cell memoization).
+func (o CampaignOptions) Runner() CampaignRunner {
+	return CampaignRunner{
+		Workers:  o.Workers,
+		Progress: o.Progress,
+		Meter:    o.Meter,
+		Log:      o.Log,
 	}
 }
 
@@ -114,65 +113,7 @@ func (o *CampaignOptions) fill() {
 // single-failure runs (same seed, same draw), so campaign output embeds
 // the calibrated Figure 6/9 numbers verbatim.
 func CampaignConfigs(opts CampaignOptions) []Config {
-	opts.fill()
-	factors := opts.ReplicaFactors
-	if len(factors) == 0 {
-		factors = []float64{-1} // sentinel: leave Config.Replica alone
-	}
-	var out []Config
-	for _, app := range opts.Apps {
-		for _, dc := range opts.Detectors {
-			for _, pc := range opts.Policies {
-				for _, rf := range factors {
-					for k := 0; k <= opts.MaxFaults; k++ {
-						for _, d := range opts.Designs {
-							// Respawn is a replica-only axis: the other
-							// designs run each cell exactly once, whatever
-							// the swept variant list contains.
-							variants := []bool{false}
-							if d == ReplicaFTI {
-								variants = dedupeBools(opts.HotSpares)
-							}
-							for _, hs := range variants {
-								cfg := Config{
-									App:          app,
-									Design:       d,
-									Procs:        opts.Procs,
-									Input:        opts.Input,
-									InjectFault:  k > 0,
-									Faults:       k,
-									FaultSeed:    opts.Seed,
-									Detector:     dc,
-									CkptPolicy:   pc,
-									HotSpare:     hs,
-									ModelIngress: opts.ModelIngress,
-								}
-								if rf >= 0 {
-									cfg.Replica = replicaConfigFor(rf)
-								}
-								out = append(out, cfg)
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
-// dedupeBools keeps the first occurrence of each variant, in order, so a
-// repeated axis entry cannot duplicate campaign cells.
-func dedupeBools(vs []bool) []bool {
-	var out []bool
-	seen := map[bool]bool{}
-	for _, v := range vs {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	return out
+	return opts.Request().Configs()
 }
 
 // replicaConfigFor encodes a swept ReplicaFactor: 0 turns replication off
@@ -209,15 +150,11 @@ func HotSpareOf(c Config) bool {
 
 // RunCampaign executes the campaign matrix on the sweep worker pool,
 // writes the per-app tables (recovery time and total overhead vs failure
-// count, per design) to w, and returns the raw results.
+// count, per design) to w, and returns the raw results. It is the
+// in-process compatibility wrapper over the CampaignRequest/CampaignRunner
+// split: opts.Runner().Run(opts.Request(), w).
 func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
-	cfgs := CampaignConfigs(opts) // fills defaults on its own copy
-	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress, opts.Meter, opts.Log)
-	if err != nil {
-		return results, err
-	}
-	WriteCampaign(w, results)
-	return results, nil
+	return opts.Runner().Run(opts.Request(), w)
 }
 
 // WriteCampaign renders campaign results: one block per application, one

@@ -193,7 +193,9 @@ type Config struct {
 	// against the returned Breakdown and fails hard on divergence. One
 	// recorder serves exactly one Run: it is not safe to share across the
 	// concurrent runs of a sweep (RunAveraged rejects Trace with reps > 1).
-	Trace *trace.Recorder
+	// Observers are runtime wiring, not configuration: all three are
+	// excluded from serialization and canonical hashing (CellKey).
+	Trace *trace.Recorder `json:"-"`
 
 	// Metrics, when non-nil, accumulates the run's operational counters
 	// (messages, checkpoints per level, detections, failovers, respawns,
@@ -204,12 +206,12 @@ type Config struct {
 	// failing hard on divergence. Unlike Trace, a registry may be reused
 	// across the reps of RunAveraged: each rep gets a fresh registry that is
 	// merged in afterwards.
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
 
 	// Log, when non-nil, receives structured lifecycle events (inject,
 	// detect, failover, respawn, fallback, node-fail) as JSON lines with
 	// virtual timestamps. Observer-only, like Trace and Metrics.
-	Log *obs.Log
+	Log *obs.Log `json:"-"`
 }
 
 // FaultCount is the number of failures this configuration injects: the

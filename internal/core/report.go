@@ -14,6 +14,7 @@ import (
 	"match/internal/detect"
 	"match/internal/obs"
 	"match/internal/simnet"
+	"match/internal/store"
 )
 
 // Result pairs a configuration with its measured breakdown.
@@ -254,20 +255,36 @@ type Progress func(done, total int, r Result, wall time.Duration)
 // ones finish); the successful prefix — every configuration before the
 // lowest-indexed failing one — is returned with that error.
 func RunConfigs(cfgs []Config, reps, workers int) ([]Result, error) {
-	return runConfigs(cfgs, reps, workers, nil, nil, nil)
+	return runConfigs(cfgs, reps, runEnv{workers: workers})
 }
 
-// runConfigs is RunConfigs plus the observability hooks the campaign/suite
-// CLIs report through: the per-cell progress callback, the live sweep
-// meter behind /metrics and /status, and the structured event log.
-func runConfigs(cfgs []Config, reps, workers int, progress Progress, meter *obs.SweepMeter, lg *obs.Log) ([]Result, error) {
+// runEnv is the sweep execution environment: the worker pool bound plus
+// the observability hooks the campaign/suite CLIs report through (per-cell
+// progress callback, live sweep meter behind /metrics and /status,
+// structured event log) and the optional content-addressed result store.
+type runEnv struct {
+	workers  int
+	progress Progress
+	meter    *obs.SweepMeter
+	log      *obs.Log
+	store    *store.Store
+}
+
+// runConfigs is RunConfigs over a full runEnv. With a store attached, each
+// cell is looked up by its CellKey before simulating: a hit reuses the
+// cached Breakdown (byte-identical results, zero simulation), a miss runs
+// the cell and stores it back. Cache traffic is invisible on the
+// deterministic output streams — only the store's Stats and the side
+// channels see it.
+func runConfigs(cfgs []Config, reps int, env runEnv) ([]Result, error) {
+	workers := env.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
-	meter.AddTotal(len(cfgs))
+	env.meter.AddTotal(len(cfgs))
 	results := make([]Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	done := make([]bool, len(cfgs)) // distinguishes success from fail-fast skip
@@ -285,36 +302,64 @@ func runConfigs(cfgs []Config, reps, workers int, progress Progress, meter *obs.
 					continue
 				}
 				cfg := cfgs[i]
-				if meter.Enabled() {
-					cfg.Metrics = obs.New()
-				}
-				if lg.Enabled() {
-					cfg.Log = lg.With("cell", i)
+				if env.log.Enabled() {
+					cfg.Log = env.log.With("cell", i)
 					cfg.Log.HostEvent("cell_start", "app", cfg.App,
 						"design", cfg.Design.ShortName(), "procs", cfg.Procs,
 						"input", cfg.Input.String(), "faults", cfg.FaultCount())
 				}
 				start := time.Now()
-				bd, _, err := RunAveraged(cfg, reps)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					continue
+				// Consult the store first: a hit skips the simulation
+				// entirely. A key error (invalid detector/policy) falls
+				// through to the run, which reports it properly; a corrupt
+				// or stale cached value counts as a miss and is re-run.
+				key := ""
+				cached := false
+				var bd Breakdown
+				if env.store.Enabled() {
+					if k, kerr := CellKey(cfg, reps); kerr == nil {
+						key = k
+						if raw, ok := env.store.Get(key); ok {
+							if dec, derr := decodeCachedCell(raw); derr == nil {
+								bd, cached = dec, true
+							}
+						}
+					}
 				}
-				meter.CellDone(cfg.Design.ShortName(), cfg.Metrics)
+				if !cached {
+					if env.meter.Enabled() {
+						cfg.Metrics = obs.New()
+					}
+					var err error
+					bd, _, err = RunAveraged(cfg, reps)
+					if err != nil {
+						errs[i] = err
+						failed.Store(true)
+						continue
+					}
+					if key != "" {
+						if enc, eerr := encodeCachedCell(bd); eerr == nil {
+							// Best-effort: a failed write only costs a
+							// future rerun, never the sweep.
+							_ = env.store.Put(key, enc)
+						}
+					}
+				}
+				env.meter.CellDone(cfg.Design.ShortName(), cfg.Metrics)
 				if cfg.Log.Enabled() {
 					cfg.Log.HostEvent("cell_finish", "app", cfg.App,
 						"design", cfg.Design.ShortName(), "procs", cfg.Procs,
 						"wall_ms", time.Since(start).Milliseconds(),
-						"total_s", bd.Total.Seconds(), "recoveries", bd.Recoveries)
+						"total_s", bd.Total.Seconds(), "recoveries", bd.Recoveries,
+						"cached", cached)
 				}
 				res := Result{Config: cfgs[i], Breakdown: bd}
 				results[i] = res
 				done[i] = true
-				if progress != nil {
+				if env.progress != nil {
 					progressMu.Lock()
 					completed++
-					progress(completed, len(cfgs), res, time.Since(start))
+					env.progress(completed, len(cfgs), res, time.Since(start))
 					progressMu.Unlock()
 				}
 			}
@@ -353,7 +398,12 @@ func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
 		return nil, err
 	}
 	opts.fill()
-	results, err := runConfigs(cfgs, opts.Reps, opts.Workers, opts.Progress, opts.Meter, opts.Log)
+	results, err := runConfigs(cfgs, opts.Reps, runEnv{
+		workers:  opts.Workers,
+		progress: opts.Progress,
+		meter:    opts.Meter,
+		log:      opts.Log,
+	})
 	if err != nil {
 		return results, err
 	}

@@ -1,0 +1,525 @@
+package core
+
+// Campaign-as-a-service: CampaignRequest is the canonical, serializable
+// description of a campaign — pure data, no callbacks, no I/O — and
+// CampaignRunner is the execution environment that runs one. The split is
+// what lets a campaign travel: the same request JSON drives the in-process
+// runner (cmd/matchsuite), the HTTP service (cmd/matchserve), and the
+// content-addressed result cache (internal/store), whose keys are the
+// SHA-256 of the canonical encoding defined here.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"match/internal/apps"
+	"match/internal/apps/appkit"
+	"match/internal/ckpt"
+	"match/internal/detect"
+	"match/internal/fault"
+	"match/internal/fti"
+	"match/internal/obs"
+	"match/internal/reinit"
+	"match/internal/replica"
+	"match/internal/restart"
+	"match/internal/store"
+	"match/internal/ulfm"
+)
+
+// cacheVersion stamps every canonical encoding (campaign requests, cell
+// keys, and cached cell values). Bump it whenever a simulator change makes
+// previously cached Breakdowns stale — calibration constants, scheduling
+// order, new cost components — so every old cache entry misses cleanly
+// instead of serving results the current simulator would not produce.
+var cacheVersion = 1
+
+// CampaignRequest is the canonical campaign description: the sweep axes of
+// CampaignOptions as pure data. Its canonical JSON encoding (defaults
+// filled, version-stamped) is the campaign's identity — two requests that
+// run the same cells hash identically even when one spells the defaults
+// out and the other leaves them zero.
+type CampaignRequest struct {
+	// Apps lists the proxy applications (default: all of Table I).
+	Apps []string `json:"apps,omitempty"`
+	// Designs lists the fault-tolerance designs (default: all four).
+	Designs []Design  `json:"designs,omitempty"`
+	Procs   int       `json:"procs,omitempty"` // default: DefaultProcs
+	Input   InputSize `json:"input,omitempty"`
+	// MaxFaults is K: the sweep covers k = 0..K failures per run. Zero is
+	// meaningful — a failure-free baseline-only sweep; negative selects the
+	// default of 3. Deliberately not omitempty: an explicit zero must
+	// survive the wire.
+	MaxFaults int   `json:"max_faults"`
+	Reps      int   `json:"reps,omitempty"` // repetitions per cell (default 1)
+	Seed      int64 `json:"seed,omitempty"` // fault seed (default 1)
+	// Detectors multiplies the matrix by the detection axis; empty keeps
+	// the per-design calibrated presets.
+	Detectors []detect.Config `json:"detectors,omitempty"`
+	// Policies multiplies the matrix by the checkpoint-placement axis;
+	// empty keeps fixed-stride placement.
+	Policies []ckpt.Config `json:"ckpt_policies,omitempty"`
+	// ReplicaFactors adds the replication axis and restricts Designs to
+	// the replica design (the factor means nothing elsewhere).
+	ReplicaFactors []float64 `json:"replica_factors,omitempty"`
+	// HotSpares sweeps the replica design's respawn switch.
+	HotSpares []bool `json:"hot_spares,omitempty"`
+	// ModelIngress switches receiver-NIC serialization on for every run.
+	ModelIngress bool `json:"model_ingress,omitempty"`
+}
+
+// Canonical returns the request with every default filled — the exact
+// sweep a run of this request performs, and the form whose encoding is
+// hashed. Mirrors CampaignOptions' historical fill rules.
+func (r CampaignRequest) Canonical() CampaignRequest {
+	if len(r.Apps) == 0 {
+		r.Apps = TableIApps()
+	}
+	if len(r.Designs) == 0 {
+		r.Designs = Designs()
+	}
+	if r.Procs == 0 {
+		r.Procs = DefaultProcs
+	}
+	if r.MaxFaults < 0 {
+		r.MaxFaults = 3
+	}
+	if r.Reps <= 0 {
+		r.Reps = 1
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if len(r.Detectors) == 0 {
+		r.Detectors = []detect.Config{{}} // per-design preset
+	}
+	if len(r.Policies) == 0 {
+		r.Policies = []ckpt.Config{{}} // fixed-stride placement
+	}
+	if len(r.ReplicaFactors) > 0 {
+		r.Designs = []Design{ReplicaFTI}
+	}
+	r.HotSpares = dedupeBools(r.HotSpares)
+	if len(r.HotSpares) == 0 {
+		r.HotSpares = []bool{false}
+	}
+	return r
+}
+
+// versioned wraps a canonical encoding with the cache version, so a
+// simulator change invalidates every previously issued identity.
+type versioned struct {
+	V   int         `json:"v"`
+	Req interface{} `json:"req"`
+}
+
+// CanonicalJSON is the request's canonical encoding: defaults filled,
+// fields in declaration order (encoding/json is deterministic for
+// structs), version-stamped.
+func (r CampaignRequest) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(versioned{V: cacheVersion, Req: r.Canonical()})
+}
+
+// Hash is the hex SHA-256 of CanonicalJSON — the campaign's identity
+// (matchserve uses it as the campaign ID, so resubmitting an equivalent
+// request is idempotent).
+func (r CampaignRequest) Hash() (string, error) {
+	b, err := r.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Validate rejects requests that could never run: unknown applications,
+// out-of-range axes, and detector/policy configurations every cell would
+// fail on. The HTTP service turns the error into a 400 before queueing.
+func (r CampaignRequest) Validate() error {
+	c := r.Canonical()
+	if c.Procs < 1 {
+		return fmt.Errorf("core: campaign procs %d out of range", c.Procs)
+	}
+	if c.Input < Small || c.Input > Large {
+		return fmt.Errorf("core: bad input size %v", c.Input)
+	}
+	for _, app := range c.Apps {
+		if _, err := apps.Lookup(app); err != nil {
+			return err
+		}
+	}
+	for _, f := range c.ReplicaFactors {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("core: replica factor %g outside [0,1]", f)
+		}
+	}
+	for _, pc := range c.Policies {
+		if _, err := ResolvedCkptPolicy(Config{CkptPolicy: pc}); err != nil {
+			return err
+		}
+	}
+	// A detector must be valid against every design's preset it will run
+	// under (the resolve differs per design).
+	for _, d := range c.Designs {
+		for _, dc := range c.Detectors {
+			if _, err := ResolvedDetector(Config{Design: d, Detector: dc}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Configs enumerates the campaign run matrix: app x detector x policy x
+// factor x k x design (x hot-spare for the replica design), k =
+// 0..MaxFaults. A k=1 cell is configured exactly like the paper's
+// single-failure runs (same seed, same draw), so campaign output embeds
+// the calibrated Figure 6/9 numbers verbatim.
+func (r CampaignRequest) Configs() []Config {
+	r = r.Canonical()
+	factors := r.ReplicaFactors
+	if len(factors) == 0 {
+		factors = []float64{-1} // sentinel: leave Config.Replica alone
+	}
+	var out []Config
+	for _, app := range r.Apps {
+		for _, dc := range r.Detectors {
+			for _, pc := range r.Policies {
+				for _, rf := range factors {
+					for k := 0; k <= r.MaxFaults; k++ {
+						for _, d := range r.Designs {
+							// Respawn is a replica-only axis: the other
+							// designs run each cell exactly once, whatever
+							// the swept variant list contains.
+							variants := []bool{false}
+							if d == ReplicaFTI {
+								variants = r.HotSpares
+							}
+							for _, hs := range variants {
+								cfg := Config{
+									App:          app,
+									Design:       d,
+									Procs:        r.Procs,
+									Input:        r.Input,
+									InjectFault:  k > 0,
+									Faults:       k,
+									FaultSeed:    r.Seed,
+									Detector:     dc,
+									CkptPolicy:   pc,
+									HotSpare:     hs,
+									ModelIngress: r.ModelIngress,
+								}
+								if rf >= 0 {
+									cfg.Replica = replicaConfigFor(rf)
+								}
+								out = append(out, cfg)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CampaignRunner is the execution environment a CampaignRequest runs in —
+// everything CampaignOptions carried that is not campaign identity. The
+// zero value runs in-process on GOMAXPROCS workers with no observers and
+// no cache.
+type CampaignRunner struct {
+	// Workers bounds the sweep worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Progress observes every completed cell (side channel only; campaign
+	// stdout and CSV are diffed by the determinism gate).
+	Progress Progress
+	// Meter aggregates per-cell metric registries into the live sweep
+	// meter behind /metrics and /status.
+	Meter *obs.SweepMeter
+	// Log receives cell lifecycle and in-run structured events.
+	Log *obs.Log
+	// Store, when non-nil, memoizes cells: before simulating a cell the
+	// runner looks its CellKey up and reuses the stored Breakdown on a
+	// hit; every simulated cell is stored back. Overlapping sweeps sharing
+	// a store skip already-simulated cells; a warm rerun of an identical
+	// campaign simulates nothing and is byte-identical to the cold run.
+	Store *store.Store
+}
+
+// Run executes the request's matrix on the runner's worker pool, writes
+// the per-app campaign tables to w (unless w is nil), and returns the raw
+// results, ordered like Configs regardless of worker count or cache hits.
+func (rn CampaignRunner) Run(req CampaignRequest, w io.Writer) ([]Result, error) {
+	req = req.Canonical()
+	results, err := runConfigs(req.Configs(), req.Reps, runEnv{
+		workers:  rn.Workers,
+		progress: rn.Progress,
+		meter:    rn.Meter,
+		log:      rn.Log,
+		store:    rn.Store,
+	})
+	if err != nil {
+		return results, err
+	}
+	if w != nil {
+		WriteCampaign(w, results)
+	}
+	return results, nil
+}
+
+// dedupeBools keeps the first occurrence of each variant, in order, so a
+// repeated axis entry cannot duplicate campaign cells.
+func dedupeBools(vs []bool) []bool {
+	var out []bool
+	seen := map[bool]bool{}
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// canonicalCell is the hashed identity of one campaign cell: a Config with
+// every default filled and every run-irrelevant field dropped, plus the
+// repetition count (reps change the averaged Breakdown) and the cache
+// version. Only the active design's resolved sub-configuration is
+// included, so an ablation knob on a design that is not running cannot
+// split the cache.
+type canonicalCell struct {
+	V          int             `json:"v"`
+	Reps       int             `json:"reps"`
+	App        string          `json:"app"`
+	Design     Design          `json:"design"`
+	Procs      int             `json:"procs"`
+	Nodes      int             `json:"nodes"`
+	Input      InputSize       `json:"input"`
+	Faults     int             `json:"faults"`
+	Seed       int64           `json:"seed,omitempty"`
+	Kind       fault.Kind      `json:"fault_kind,omitempty"`
+	Schedule   string          `json:"schedule,omitempty"`
+	FTILevel   fti.Level       `json:"fti_level"`
+	CkptStride int             `json:"ckpt_stride"`
+	Detector   detect.Config   `json:"detector"`
+	Policy     ckpt.Config     `json:"ckpt_policy"`
+	Ingress    bool            `json:"model_ingress,omitempty"`
+	Ulfm       *ulfm.Config    `json:"ulfm,omitempty"`
+	Reinit     *reinit.Config  `json:"reinit,omitempty"`
+	Restart    *restart.Config `json:"restart,omitempty"`
+	Replica    *replica.Config `json:"replica,omitempty"`
+	Params     appkit.Params   `json:"params"`
+}
+
+// canonicalCellOf normalizes one cell exactly the way Run resolves it:
+// prelude defaults filled, detector resolved against the active design's
+// preset, placement policy resolved and validated, the active design's
+// sub-configuration resolved (with the harness-level HotSpare switch
+// folded in for the replica design), and ignored inputs zeroed (the fault
+// seed of a failure-free cell, the seed and kind under an explicit
+// schedule, inactive designs' sub-configurations).
+func canonicalCellOf(cfg Config, reps int) (canonicalCell, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	cc := canonicalCell{
+		V:          cacheVersion,
+		Reps:       reps,
+		App:        cfg.App,
+		Design:     cfg.Design,
+		Procs:      cfg.Procs,
+		Nodes:      cfg.Nodes,
+		Input:      cfg.Input,
+		Faults:     cfg.FaultCount(),
+		Seed:       cfg.FaultSeed,
+		Kind:       cfg.FaultKind,
+		FTILevel:   cfg.FTILevel,
+		CkptStride: cfg.CkptStride,
+		Ingress:    cfg.ModelIngress,
+	}
+	// The prelude defaults Run fills before anything else.
+	if cc.Nodes == 0 {
+		cc.Nodes = 32
+	}
+	if cc.Procs == 0 {
+		cc.Procs = 64
+	}
+	if cc.FTILevel == 0 {
+		cc.FTILevel = fti.L1
+	}
+	if cc.CkptStride == 0 {
+		cc.CkptStride = 10
+	}
+	// An explicit schedule overrides the random draw entirely; a
+	// failure-free cell never draws. Either way the seed and kind are
+	// ignored, so they must not split the cache.
+	if cfg.Schedule != nil {
+		cc.Schedule = cfg.Schedule.String()
+		cc.Seed, cc.Kind = 0, 0
+	} else if cc.Faults == 0 {
+		cc.Seed, cc.Kind = 0, 0
+	}
+	det, err := resolveDetector(cfg)
+	if err != nil {
+		return canonicalCell{}, err
+	}
+	cc.Detector = det
+	pcfg := ckpt.Resolve(cfg.CkptPolicy, cc.CkptStride)
+	if err := pcfg.Validate(); err != nil {
+		return canonicalCell{}, err
+	}
+	cc.Policy = pcfg
+	// Only the active design's sub-configuration, resolved to the exact
+	// cost model the run uses (Run injects the resolved detector into it;
+	// mirror that so the encoding matches what actually executes).
+	switch cfg.Design {
+	case UlfmFTI:
+		u := cfg.Ulfm
+		u.Detect = det
+		u = u.Resolved()
+		cc.Ulfm = &u
+	case ReinitFTI:
+		ri := cfg.Reinit
+		ri.Detect = det
+		ri = ri.Resolved()
+		cc.Reinit = &ri
+	case RestartFTI:
+		rs := cfg.Restart
+		rs.Detect = det
+		rs = rs.Resolved()
+		cc.Restart = &rs
+	case ReplicaFTI:
+		rp := cfg.Replica
+		rp.Detect = det
+		rp.HotSpare = HotSpareOf(cfg) // fold the harness-level switch in
+		rp = rp.Resolved()
+		cc.Replica = &rp
+	}
+	// Params overrides Table I only when MaxIter is set; otherwise it is
+	// ignored wholesale. When set, mirror ResolveParams' fill.
+	if cfg.Params.MaxIter != 0 {
+		cc.Params = cfg.Params
+		if cc.Params.WorkScale == 0 {
+			cc.Params.WorkScale = 1
+		}
+		if cc.Params.Seed == 0 {
+			cc.Params.Seed = appSeed
+		}
+	}
+	return cc, nil
+}
+
+// CellKey is the content address of one campaign cell: the hex SHA-256 of
+// its canonical encoding (see canonicalCellOf). Two configurations that
+// Run identically — one spelling defaults out, one leaving them zero —
+// produce the same key; any change to an axis the simulation consumes, to
+// the repetition count, or to cacheVersion produces a different one.
+func CellKey(cfg Config, reps int) (string, error) {
+	cc, err := canonicalCellOf(cfg, reps)
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(cc)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cachedCell is the stored value of one cell: the averaged Breakdown,
+// version-stamped (belt and braces — the version is already in the key).
+type cachedCell struct {
+	V         int       `json:"v"`
+	Breakdown Breakdown `json:"breakdown"`
+}
+
+func encodeCachedCell(bd Breakdown) ([]byte, error) {
+	return json.Marshal(cachedCell{V: cacheVersion, Breakdown: bd})
+}
+
+func decodeCachedCell(b []byte) (Breakdown, error) {
+	var c cachedCell
+	if err := json.Unmarshal(b, &c); err != nil {
+		return Breakdown{}, err
+	}
+	if c.V != cacheVersion {
+		return Breakdown{}, fmt.Errorf("core: cached cell version %d, want %d", c.V, cacheVersion)
+	}
+	return c.Breakdown, nil
+}
+
+// MarshalJSON renders a design as its canonical CLI spelling ("ulfm"), so
+// campaign requests and results read naturally on the wire. An
+// out-of-range value falls back to its number.
+func (d Design) MarshalJSON() ([]byte, error) {
+	for _, v := range Designs() {
+		if v == d {
+			return json.Marshal(d.ShortName())
+		}
+	}
+	return json.Marshal(int(d))
+}
+
+// UnmarshalJSON accepts both spellings ParseDesign does, plus the numeric
+// form for compatibility with mechanically generated requests.
+func (d *Design) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, perr := ParseDesign(s)
+		if perr != nil {
+			return perr
+		}
+		*d = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("core: design must be a name or a number, got %s", b)
+	}
+	*d = Design(n)
+	return nil
+}
+
+// ParseInputSize resolves a problem-size name case-insensitively.
+func ParseInputSize(name string) (InputSize, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "small", "s":
+		return Small, nil
+	case "medium", "m":
+		return Medium, nil
+	case "large", "l":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("core: unknown input size %q (valid: Small, Medium, Large)", name)
+}
+
+// MarshalJSON renders an input size by name ("Small").
+func (s InputSize) MarshalJSON() ([]byte, error) {
+	if s >= Small && s <= Large {
+		return json.Marshal(s.String())
+	}
+	return json.Marshal(int(s))
+}
+
+// UnmarshalJSON accepts names (any case) and numbers.
+func (s *InputSize) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err == nil {
+		v, perr := ParseInputSize(str)
+		if perr != nil {
+			return perr
+		}
+		*s = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("core: input size must be a name or a number, got %s", b)
+	}
+	*s = InputSize(n)
+	return nil
+}

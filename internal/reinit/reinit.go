@@ -89,6 +89,15 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Resolved returns the configuration with every zero field replaced by its
+// calibrated default — the exact cost model a run of this configuration
+// uses. Canonicalization (core.CellKey) hashes the resolved form, so an
+// empty Config and an explicit DefaultConfig() are the same cache entry.
+func (c Config) Resolved() Config {
+	c.fillDefaults()
+	return c
+}
+
 // DetectPreset is Reinit's calibrated detection model — the daemon
 // supervision tree — expressed as a detect.Config. core.Run resolves
 // Config.Detect against this.

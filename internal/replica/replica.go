@@ -96,8 +96,9 @@ type Config struct {
 	// StateBytes reports the live protected-state volume of a logical rank
 	// in bytes (the respawn transfer size, before BytesScale). The harness
 	// feeds it from the application's FTI-protected footprint; nil — or a
-	// zero return — falls back to SpawnStateBytes.
-	StateBytes func(rank int) int64
+	// zero return — falls back to SpawnStateBytes. Runtime wiring, not
+	// configuration: excluded from serialization and hashing.
+	StateBytes func(rank int) int64 `json:"-"`
 	// SpawnStateBytes is the per-rank transfer volume used when no
 	// StateBytes feed is installed (default 16 MiB).
 	SpawnStateBytes int64
@@ -106,8 +107,18 @@ type Config struct {
 	// The zero value keeps the instant launcher preset.
 	Detect detect.Config
 	// OnLaunch, when set, runs on every job incarnation right after launch
-	// (the harness installs per-run job knobs with it).
-	OnLaunch func(*mpi.Job)
+	// (the harness installs per-run job knobs with it). Runtime wiring,
+	// not configuration: excluded from serialization and hashing.
+	OnLaunch func(*mpi.Job) `json:"-"`
+}
+
+// Resolved returns the configuration with every zero field replaced by its
+// calibrated default — the exact cost model a run of this configuration
+// uses. Canonicalization (core.CellKey) hashes the resolved form, so an
+// empty Config and an explicit DefaultConfig() are the same cache entry.
+func (c Config) Resolved() Config {
+	c.fillDefaults()
+	return c
 }
 
 // DetectPreset is Replica's detection model: the launcher/daemon SIGCHLD

@@ -42,8 +42,33 @@ type Config struct {
 	// value keeps the instant launcher preset.
 	Detect detect.Config
 	// OnLaunch, when set, is invoked on every job incarnation right after
-	// launch (the harness uses it to install per-run job knobs).
-	OnLaunch func(*mpi.Job)
+	// launch (the harness uses it to install per-run job knobs). Runtime
+	// wiring, not configuration: excluded from serialization and hashing.
+	OnLaunch func(*mpi.Job) `json:"-"`
+}
+
+// Resolved returns the configuration with every zero cost field replaced
+// by its calibrated default — exactly the fill Supervise performs.
+// Canonicalization (core.CellKey) hashes the resolved form, so an empty
+// Config and an explicit DefaultConfig() are the same cache entry.
+func (c Config) Resolved() Config {
+	def := DefaultConfig()
+	if c.DetectDelay == 0 {
+		c.DetectDelay = def.DetectDelay
+	}
+	if c.TeardownDelay == 0 {
+		c.TeardownDelay = def.TeardownDelay
+	}
+	if c.LaunchBase == 0 {
+		c.LaunchBase = def.LaunchBase
+	}
+	if c.LaunchPerProc == 0 {
+		c.LaunchPerProc = def.LaunchPerProc
+	}
+	if c.MaxRelaunches == 0 {
+		c.MaxRelaunches = def.MaxRelaunches
+	}
+	return c
 }
 
 // DefaultConfig reflects typical mpirun redeployment costs on a cluster of
@@ -105,22 +130,7 @@ type Supervisor struct {
 // detector configuration panics; validate with detect.Config.Validate
 // (core.Run does) before constructing.
 func Supervise(c *simnet.Cluster, cfg Config, n int, startDelay simnet.Time, main func(*mpi.Rank)) *Supervisor {
-	def := DefaultConfig()
-	if cfg.DetectDelay == 0 {
-		cfg.DetectDelay = def.DetectDelay
-	}
-	if cfg.TeardownDelay == 0 {
-		cfg.TeardownDelay = def.TeardownDelay
-	}
-	if cfg.LaunchBase == 0 {
-		cfg.LaunchBase = def.LaunchBase
-	}
-	if cfg.LaunchPerProc == 0 {
-		cfg.LaunchPerProc = def.LaunchPerProc
-	}
-	if cfg.MaxRelaunches == 0 {
-		cfg.MaxRelaunches = def.MaxRelaunches
-	}
+	cfg = cfg.Resolved()
 	nodes := make([]int, n)
 	for i := range nodes {
 		nodes[i] = i * c.NumNodes() / n

@@ -32,6 +32,7 @@ import (
 	"match/internal/fault"
 	"match/internal/obs"
 	"match/internal/replica"
+	"match/internal/store"
 	"match/internal/trace"
 )
 
@@ -72,7 +73,31 @@ type (
 	FaultEvent = fault.Event
 	// CampaignOptions shapes a multi-failure sweep (k = 0..MaxFaults
 	// failures per run, per app and design).
+	//
+	// Deprecated: CampaignOptions bundles campaign identity with execution
+	// environment. New code should describe the sweep as a CampaignRequest
+	// (pure data; its canonical encoding is the campaign's cache identity)
+	// and run it with a CampaignRunner. CampaignOptions keeps working —
+	// RunCampaign splits it into exactly that pair.
 	CampaignOptions = core.CampaignOptions
+	// CampaignRequest is the canonical, serializable campaign description:
+	// the sweep axes as pure data. Its version-stamped canonical JSON
+	// (defaults filled) is the campaign's identity — the cache key, and the
+	// campaign ID on a matchserve instance. The zero value is the full
+	// default campaign.
+	CampaignRequest = core.CampaignRequest
+	// CampaignRunner is the execution environment a CampaignRequest runs
+	// in: worker pool size, progress/metering/logging observers, and an
+	// optional content-addressed ResultStore that memoizes cells across
+	// campaigns. The zero value runs in-process with no observers.
+	CampaignRunner = core.CampaignRunner
+	// ResultStore is a content-addressed cell cache (in-memory LRU front,
+	// optional disk backing); share one across campaigns — or attach it to
+	// matchserve — so overlapping sweeps skip already-simulated cells.
+	ResultStore = store.Store
+	// CacheStats summarizes a ResultStore's traffic (hits, misses,
+	// simulated-and-stored cells, evictions).
+	CacheStats = store.Stats
 	// Crossover is the campaign-level Replica-vs-Reinit analysis.
 	Crossover = core.Crossover
 	// DetectorConfig selects and tunes the failure-detection strategy any
@@ -189,10 +214,34 @@ func RunFigure(fig int, opts SuiteOptions, w io.Writer) ([]Result, error) {
 
 // RunCampaign executes a multi-failure campaign sweep on the worker pool,
 // writing per-app tables of recovery time and total overhead vs failure
-// count to w and returning the raw results.
+// count to w and returning the raw results. It is the compatibility
+// wrapper over the CampaignRequest/CampaignRunner split.
 func RunCampaign(opts CampaignOptions, w io.Writer) ([]Result, error) {
 	return core.RunCampaign(opts, w)
 }
+
+// OpenResultStore returns a content-addressed cell cache backed by dir
+// (created if missing; "" keeps it memory-only). maxEntries bounds the
+// in-memory LRU front; 0 selects the default. Attach it as
+// CampaignRunner.Store; a warm rerun of a cached campaign simulates
+// nothing and produces byte-identical output.
+func OpenResultStore(dir string, maxEntries int) (*ResultStore, error) {
+	return store.Open(dir, maxEntries)
+}
+
+// NewMemoryResultStore returns a memory-only result store (tests, or
+// sharing cells between campaigns within one process).
+func NewMemoryResultStore(maxEntries int) *ResultStore { return store.NewMemory(maxEntries) }
+
+// CellKey is the content address of one campaign cell: the hex SHA-256 of
+// the configuration's canonical encoding (defaults filled, observers and
+// inactive designs excluded, version-stamped). Two configs that Run
+// identically share a key.
+func CellKey(cfg Config, reps int) (string, error) { return core.CellKey(cfg, reps) }
+
+// ParseInputSize resolves a problem-size name ("Small", "medium", "L")
+// case-insensitively.
+func ParseInputSize(name string) (InputSize, error) { return core.ParseInputSize(name) }
 
 // RunConfigs executes arbitrary configurations on a bounded worker pool
 // (workers <= 0 means GOMAXPROCS) with deterministic result ordering.
@@ -229,6 +278,12 @@ func WriteTableI(w io.Writer) { core.WriteTableI(w) }
 
 // WriteCSV emits results as CSV.
 func WriteCSV(w io.Writer, results []Result) { core.WriteCSV(w, results) }
+
+// WriteCampaign renders the per-app campaign tables (recovery time and
+// total overhead vs failure count) from raw results — the same rendering a
+// CampaignRunner applies, usable on results fetched from a matchserve
+// instance.
+func WriteCampaign(w io.Writer, results []Result) { core.WriteCampaign(w, results) }
 
 // ComputeRatios derives the §V-C headline ratios from with-failure runs.
 func ComputeRatios(results []Result) Ratios { return core.ComputeRatios(results) }

@@ -1,6 +1,7 @@
 package match_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -95,6 +96,63 @@ func TestFacadeCkptPolicy(t *testing.T) {
 		CkptPolicy: match.CkptPolicyConfig{Kind: match.FixedPlacement, Stride: -1},
 	}); err == nil {
 		t.Fatal("facade accepted a negative placement stride")
+	}
+}
+
+// The campaign-as-a-service surface: a CampaignRequest run by a
+// CampaignRunner over a ResultStore, with RunCampaign as the compatibility
+// wrapper producing identical results.
+func TestFacadeCampaignService(t *testing.T) {
+	req := match.CampaignRequest{
+		Apps:    []string{"HPCCG"},
+		Designs: []match.Design{match.ReinitFTI},
+		Procs:   8, MaxFaults: 1, Seed: 7,
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := req.Hash()
+	if err != nil || len(id) != 64 {
+		t.Fatalf("Hash = %q, %v", id, err)
+	}
+
+	st := match.NewMemoryResultStore(0)
+	rn := match.CampaignRunner{Workers: 2, Store: st}
+	cold, err := rn.Run(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := rn.Run(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs match.CacheStats = st.Stats()
+	if cs.Misses != int64(len(cold)) || cs.Hits != int64(len(warm)) {
+		t.Fatalf("cache stats after cold+warm: %+v", cs)
+	}
+	if cs.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %g, want 0.5", cs.HitRate())
+	}
+
+	// The deprecated options path must agree with the request/runner pair.
+	viaOpts, err := match.RunCampaign(match.CampaignOptions{
+		Apps: req.Apps, Designs: req.Designs,
+		Procs: req.Procs, MaxFaults: req.MaxFaults, Seed: req.Seed,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaOpts, cold) {
+		t.Fatal("CampaignOptions path diverges from CampaignRequest/CampaignRunner")
+	}
+
+	key, err := match.CellKey(match.Config{App: "HPCCG", Procs: 8, Design: match.ReinitFTI}, 1)
+	if err != nil || len(key) != 64 {
+		t.Fatalf("CellKey = %q, %v", key, err)
+	}
+
+	if sz, err := match.ParseInputSize("medium"); err != nil || sz != match.Medium {
+		t.Fatalf("ParseInputSize = %v, %v", sz, err)
 	}
 }
 
